@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper figure/table, prints the same
+rows/series the paper reports, and writes them to
+``benchmarks/results/<name>.txt``. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_FULL=1`` for the paper's full batch sizes (much slower).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ChipFactory
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def factory() -> ChipFactory:
+    return ChipFactory(seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, table: str) -> None:
+    """Print a figure's rows and persist them for EXPERIMENTS.md."""
+    print(f"\n{table}\n")
+    (results_dir / f"{name}.txt").write_text(table + "\n")

@@ -1,0 +1,46 @@
+"""Benchmarks: ablation studies for DESIGN.md's design choices."""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def test_ablation_power_fit_variants(benchmark, factory, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablations.run_fit_ablation(n_trials=3, factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "ablation_fit", result.format_table())
+
+    three = result.values["3-point fit, floor"]
+    two = result.values["2-point fit, floor"]
+    # Table 3's "3 (or 2)" voltages: the 2-point chord is a usable
+    # approximation — within a few percent of the 3-point fit.
+    assert abs(three - two) < 0.05
+    # Refill matters: without it, floor-quantisation strands budget.
+    assert result.values["3-point, no refill"] <= three + 0.01
+
+
+def test_ablation_successive_lp(benchmark, factory, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablations.run_slp_ablation(n_trials=3, factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "ablation_slp", result.format_table())
+
+    # The global linearisation of the convex p(V) (pass 1) leaves
+    # throughput on the table; successive local passes recover it.
+    assert (result.values["6 LP pass(es)"]
+            >= result.values["1 LP pass(es)"] - 0.005)
+
+
+def test_ablation_thermal_coupling(benchmark, factory, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablations.run_thermal_ablation(n_trials=4,
+                                               factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "ablation_thermal", result.format_table())
+
+    # VarP&AppP saves power in both regimes (its ranking inputs do not
+    # depend on the thermal package), and heat spreading does not erase
+    # the saving.
+    for value in result.values.values():
+        assert value < 1.0

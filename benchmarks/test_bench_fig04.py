@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (variation histograms)."""
+
+from conftest import emit
+
+from repro.experiments import fig04_variation
+from repro.experiments.common import full_run
+
+
+def test_fig04_variation_histograms(benchmark, factory, results_dir):
+    n_dies = 200 if full_run() else 24
+
+    result = benchmark.pedantic(
+        lambda: fig04_variation.run(n_dies=n_dies, factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig04", result.format_table())
+
+    # Paper shape: frequency ratios mostly 1.2-1.5 (mean ~1.33);
+    # power ratios large (paper 1.4-1.7; our calibration runs higher).
+    assert 1.15 < result.mean_freq_ratio < 1.55
+    assert 1.4 < result.mean_power_ratio < 2.6
+    assert result.freq_ratios.min() > 1.05

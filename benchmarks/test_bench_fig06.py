@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 6 (power vs frequency, MaxF/MinF)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig06_power_freq
+
+
+def test_fig06_power_freq_curves(benchmark, factory, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig06_power_freq.run(factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig06", result.format_table())
+
+    # Paper observations: (i) MaxF reaches MinF's top frequency at a
+    # much lower voltage and power; (ii) MinF cannot reach MaxF's fmax.
+    minf_top_f = max(result.minf_curve.freq_norm)
+    p_on_maxf = np.interp(minf_top_f, result.maxf_curve.freq_norm,
+                          result.maxf_curve.power_norm)
+    assert p_on_maxf < result.minf_curve.power_norm[-1]
+    assert minf_top_f < 1.0
+
+
+def test_fig06_crossover_for_leakage_dominated_app(benchmark, factory,
+                                                   results_dir):
+    """The paper's efficiency crossover (~0.74): for leakage-dominated
+    thread-core pairs the slow low-leakage core wins at low frequency.
+    Whether a given die exhibits it depends on the MaxF/MinF pair's
+    leakage contrast; die 4 of the default batch does, with mcf."""
+    result = benchmark.pedantic(
+        lambda: fig06_power_freq.run(die_index=4, app_name="mcf",
+                                     factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig06_mcf", result.format_table())
+    cross = result.crossover_frequency()
+    assert cross is not None
+    assert 0.4 < cross < 0.95  # paper: ~0.74

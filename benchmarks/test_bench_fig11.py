@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 11 (NUniFreq+DVFS throughput/ED^2,
+Cost-Performance) with the online phased protocol."""
+
+from conftest import emit
+
+from repro.experiments import fig11_dvfs
+from repro.experiments.common import full_run
+
+
+def test_fig11_dvfs_cost_performance(benchmark, factory, results_dir):
+    n_trials = 8 if full_run() else 3
+
+    result = benchmark.pedantic(
+        lambda: fig11_dvfs.run(n_trials=n_trials, factory=factory,
+                               protocol="online"),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig11", result.format_table())
+
+    for nt, per in result.results.items():
+        base = per["Random+Foxton*"]
+        fox = per["VarF&AppIPC+Foxton*"]
+        lin = per["VarF&AppIPC+LinOpt"]
+        sann = per["VarF&AppIPC+SAnn"]
+        # Ordering (paper): LinOpt >> Foxton* > baseline; SAnn ~ LinOpt.
+        assert abs(base.mips - 1.0) < 1e-9
+        assert lin.mips > fox.mips - 0.01
+        assert lin.mips > 1.02
+        assert lin.ed2 < 0.95            # paper: 0.62-0.70
+        assert abs(sann.mips - lin.mips) < 0.05  # paper: within 2%

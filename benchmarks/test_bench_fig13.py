@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 13 (weighted throughput and ED^2)."""
+
+from conftest import emit
+
+from repro.experiments import fig13_weighted
+from repro.experiments.common import full_run
+
+
+def test_fig13_weighted_metrics(benchmark, factory, results_dir):
+    n_trials = 8 if full_run() else 2
+
+    result = benchmark.pedantic(
+        lambda: fig13_weighted.run(n_trials=n_trials,
+                                   thread_counts=(8, 20),
+                                   factory=factory,
+                                   protocol="online"),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig13", result.format_table())
+
+    for nt, per in result.results.items():
+        lin = per["VarF&AppIPC+LinOpt"]
+        # Paper: weighted gains resemble Fig 11 but slightly smaller;
+        # LinOpt still clearly improves both weighted metrics.
+        assert lin.weighted_mips > 1.0
+        assert lin.weighted_ed2 < 1.0
+        # The weighted gain should not exceed the raw-MIPS gain by
+        # much (raw MIPS favours high-IPC threads more).
+        assert lin.weighted_mips < lin.mips + 0.05

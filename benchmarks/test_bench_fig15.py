@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 15 (LinOpt execution time)."""
+
+from conftest import emit
+
+from repro.experiments import fig15_linopt_time
+
+
+def test_fig15_linopt_execution_time(benchmark, factory, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig15_linopt_time.run(n_trials=4, factory=factory),
+        rounds=1, iterations=1)
+    emit(results_dir, "fig15", result.format_table())
+
+    for env_name, times in result.modelled_us.items():
+        # Paper shape: time grows with thread count...
+        assert times[-1] > times[0]
+        # ...and stays micro-second scale at 20 threads (paper <= 6 us;
+        # our pivot counts land the same order of magnitude).
+        assert times[-1] < 100.0
+    # ...and grows as the environment loosens (High Perf > Low Power).
+    assert (result.modelled_us["High Performance"][-1]
+            > result.modelled_us["Low Power"][-1] * 0.8)

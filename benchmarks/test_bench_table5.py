@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 5 (application power and IPC)."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import table5_apps
+
+
+def test_table5_round_trip(benchmark, results_dir):
+    result = benchmark.pedantic(table5_apps.run, rounds=3, iterations=1)
+    emit(results_dir, "table5", result.format_table())
+
+    by_name = {r[0]: r for r in result.rows}
+    assert by_name["vortex"][1] == pytest.approx(4.4)
+    assert by_name["vortex"][2] == pytest.approx(1.2)
+    assert by_name["mcf"][1] == pytest.approx(1.5)
+    assert by_name["mcf"][2] == pytest.approx(0.1)
+    # Paper ranges: up to 2.9x dynamic power, up to 12x IPC.
+    powers = [r[1] for r in result.rows]
+    ipcs = [r[2] for r in result.rows]
+    assert max(powers) / min(powers) == pytest.approx(2.9, rel=0.05)
+    assert max(ipcs) / min(ipcs) == pytest.approx(12.0, rel=0.05)

@@ -1,0 +1,63 @@
+"""Solver comparison: LinOpt vs SAnn vs exhaustive search.
+
+On a small 4-thread configuration (where exhaustive search over all
+voltage-level combinations is tractable — the paper's own validation
+protocol, Section 6.5), compares the throughput and the computational
+cost of every power manager.
+
+Run with::
+
+    python examples/solver_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import LOW_POWER
+from repro.experiments.common import ChipFactory
+from repro.pm import ExhaustiveSearch, FoxtonStar, LinOpt, SAnnManager
+from repro.sched import VarFAppIPC
+from repro.workloads import make_workload
+
+N_THREADS = 4
+
+
+def main() -> None:
+    factory = ChipFactory()
+    chip = factory.chip(0)
+    rng = np.random.default_rng(23)
+    workload = make_workload(N_THREADS, rng)
+    assignment = VarFAppIPC().assign_with_profiling(chip, workload, rng)
+    env = LOW_POWER
+    print(f"{N_THREADS} threads ({', '.join(a.name for a in workload)}) "
+          f"under {env.p_target(N_THREADS, chip.n_cores):.1f} W\n")
+
+    managers = [
+        ("Foxton*", FoxtonStar()),
+        ("LinOpt", LinOpt()),
+        ("SAnn", SAnnManager(n_evaluations=2000)),
+        ("Exhaustive", ExhaustiveSearch()),
+    ]
+    rows = []
+    for name, manager in managers:
+        t0 = time.perf_counter()
+        result = manager.set_levels(chip, workload, assignment, env,
+                                    np.random.default_rng(5))
+        wall = time.perf_counter() - t0
+        rows.append((name, result.state.throughput_mips,
+                     result.state.total_power, result.evaluations, wall))
+
+    best = max(r[1] for r in rows)
+    print(f"{'manager':11s} {'MIPS':>8s} {'vs best':>8s} {'power':>7s} "
+          f"{'evals':>7s} {'time':>8s}")
+    for name, mips, power, evals, wall in rows:
+        print(f"{name:11s} {mips:8.0f} {mips / best:8.3f} {power:6.1f}W "
+              f"{evals:7d} {wall * 1000:7.1f}ms")
+    print("\nThe paper's finding: LinOpt lands within ~2% of SAnn and "
+          "the exhaustive optimum at a fraction of the cost; SAnn "
+          "itself is within ~1% of exhaustive.")
+
+
+if __name__ == "__main__":
+    main()

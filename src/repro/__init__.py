@@ -1,0 +1,46 @@
+"""repro — reproduction of "Variation-Aware Application Scheduling and
+Power Management for Chip Multiprocessors" (Teodorescu & Torrellas,
+ISCA 2008).
+
+The package layers, bottom-up:
+
+* :mod:`repro.variation` — VARIUS-style Vth/Leff variation maps.
+* :mod:`repro.floorplan` — 20-core CMP floorplan (Figure 3).
+* :mod:`repro.freq` — alpha-power-law critical paths, per-core (V, f).
+* :mod:`repro.power` — dynamic + leakage power, on-chip sensors.
+* :mod:`repro.thermal` — steady-state RC network, leakage fixed point.
+* :mod:`repro.workloads` — Table 5 SPEC profiles and phases.
+* :mod:`repro.chip` — manufacturer die characterisation.
+* :mod:`repro.linprog` / :mod:`repro.anneal` — optimisation engines.
+* :mod:`repro.sched` — variation-aware scheduling policies (Table 1).
+* :mod:`repro.pm` — Foxton*, LinOpt, SAnn, exhaustive power managers.
+* :mod:`repro.runtime` — system evaluation, online loop, metrics.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from .config import (
+    ArchConfig,
+    COST_PERFORMANCE,
+    DEFAULT_ARCH,
+    DEFAULT_TECH,
+    HIGH_PERFORMANCE,
+    LOW_POWER,
+    POWER_ENVIRONMENTS,
+    PowerEnvironment,
+    TechParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "COST_PERFORMANCE",
+    "DEFAULT_ARCH",
+    "DEFAULT_TECH",
+    "HIGH_PERFORMANCE",
+    "LOW_POWER",
+    "POWER_ENVIRONMENTS",
+    "PowerEnvironment",
+    "TechParams",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Wearout extension: NBTI aging model (paper Section 8)."""
+
+from .nbti import (
+    AgingState,
+    NbtiParams,
+    SECONDS_PER_MONTH,
+    aged_chip,
+    delta_vth,
+    equivalent_stress_time,
+)
+
+__all__ = [
+    "AgingState",
+    "NbtiParams",
+    "SECONDS_PER_MONTH",
+    "aged_chip",
+    "delta_vth",
+    "equivalent_stress_time",
+]

@@ -1,0 +1,5 @@
+"""Generic simulated-annealing engine."""
+
+from .annealer import AnnealResult, logarithmic_temperature, simulated_annealing
+
+__all__ = ["AnnealResult", "logarithmic_temperature", "simulated_annealing"]

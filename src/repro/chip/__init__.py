@@ -1,0 +1,5 @@
+"""Die characterisation: manufacturer binning of variation-affected dies."""
+
+from .characterize import ChipProfile, CoreDescriptor, characterize_die
+
+__all__ = ["ChipProfile", "CoreDescriptor", "characterize_die"]

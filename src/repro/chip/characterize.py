@@ -1,0 +1,143 @@
+"""Post-manufacturing die characterisation.
+
+This layer plays the role of the chip manufacturer's binning flow
+(Table 3): from a die's variation map it derives, per core, the
+(V, f) table, the frequency model, the leakage model, and the static
+power measured at maximum voltage under zero load — the profile data
+the scheduling and power-management algorithms are allowed to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import T_HOT_K, T_REF_K, ArchConfig, TechParams
+from ..floorplan import Floorplan, build_floorplan
+from ..freq import (
+    CoreFrequencyModel,
+    VFTable,
+    build_vf_table,
+    extract_core_paths,
+    frequency_calibration,
+)
+from ..power import CoreLeakageModel, L2LeakageModel, build_core_leakage
+from ..thermal import ThermalNetwork
+from ..variation import Die
+
+
+@dataclass(frozen=True)
+class CoreDescriptor:
+    """Everything known about one manufactured core.
+
+    Attributes:
+        core_id: Index on the die.
+        vf_table: Manufacturer-binned (V, f) operating points.
+        freq_model: Underlying continuous f(V, T) model.
+        leakage: Leakage power model p_static(V, T).
+        static_power_rated: Static power (W) measured by the
+            manufacturer at maximum voltage, zero load, reference
+            temperature — the VarP ranking input.
+    """
+
+    core_id: int
+    vf_table: VFTable
+    freq_model: CoreFrequencyModel
+    leakage: CoreLeakageModel
+    static_power_rated: float
+
+    @property
+    def fmax(self) -> float:
+        """Rated maximum frequency (Hz) at maximum voltage."""
+        return self.vf_table.fmax
+
+    def static_power_at(self, vdd: float,
+                        t_kelvin: float = T_REF_K) -> float:
+        """Static power at a voltage level (VarP&AppP profile data)."""
+        return self.leakage.power(vdd, t_kelvin)
+
+
+@dataclass(frozen=True)
+class ChipProfile:
+    """A fully characterised die.
+
+    Holds the per-core descriptors plus shared structures (floorplan,
+    thermal network, L2 leakage) that system-level evaluation needs.
+    """
+
+    die_id: int
+    tech: TechParams
+    arch: ArchConfig
+    floorplan: Floorplan
+    cores: Tuple[CoreDescriptor, ...]
+    l2_leakage: L2LeakageModel
+    thermal: ThermalNetwork
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def fmax_array(self) -> np.ndarray:
+        """Rated fmax of every core (Hz)."""
+        return np.array([c.fmax for c in self.cores])
+
+    @property
+    def static_rated_array(self) -> np.ndarray:
+        """Rated static power of every core (W)."""
+        return np.array([c.static_power_rated for c in self.cores])
+
+    @property
+    def min_fmax(self) -> float:
+        """Frequency of the slowest core — the UniFreq chip frequency."""
+        return float(self.fmax_array.min())
+
+
+def characterize_die(
+    die: Die,
+    tech: TechParams,
+    arch: ArchConfig,
+    floorplan: Optional[Floorplan] = None,
+    thermal: Optional[ThermalNetwork] = None,
+) -> ChipProfile:
+    """Characterise one die into a :class:`ChipProfile`.
+
+    Path sampling uses a per-die deterministic seed so the same die
+    always bins identically.
+    """
+    if floorplan is None:
+        floorplan = build_floorplan(arch)
+    if floorplan.n_cores != arch.n_cores:
+        raise ValueError("floorplan core count does not match arch")
+    if thermal is None:
+        thermal = ThermalNetwork(floorplan)
+    calib = frequency_calibration(tech, arch)
+    rng = np.random.default_rng([die.die_id, 0xC0DE])
+    cores = []
+    for core_id in range(arch.n_cores):
+        paths = extract_core_paths(die.variation, floorplan, core_id,
+                                   tech, rng)
+        freq_model = CoreFrequencyModel(paths, tech, calib)
+        vf_table = build_vf_table(freq_model, tech, arch)
+        leakage = build_core_leakage(die.variation, floorplan, core_id, tech)
+        rated = leakage.power(tech.vdd_max, T_REF_K)
+        cores.append(CoreDescriptor(
+            core_id=core_id,
+            vf_table=vf_table,
+            freq_model=freq_model,
+            leakage=leakage,
+            static_power_rated=rated,
+        ))
+    l2 = L2LeakageModel(die.variation, floorplan, tech)
+    return ChipProfile(
+        die_id=die.die_id,
+        tech=tech,
+        arch=arch,
+        floorplan=floorplan,
+        cores=tuple(cores),
+        l2_leakage=l2,
+        thermal=thermal,
+    )

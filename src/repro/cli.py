@@ -1,0 +1,127 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig4 [--dies 200]
+    python -m repro.cli fig11 [--trials 20] [--static] [--no-sann]
+    python -m repro.cli all
+
+``REPRO_FULL=1`` switches the defaults to the paper's full scale
+(200 dies, 20 trials) — expect long runtimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Variation-Aware "
+                    "Application Scheduling and Power Management for "
+                    "Chip Multiprocessors' (ISCA 2008).")
+    parser.add_argument("experiment",
+                        help="experiment name (see 'list'), or 'list'/'all'")
+    parser.add_argument("--dies", type=int, default=None,
+                        help="number of dies (fig4/fig5)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="workload trials per data point")
+    parser.add_argument("--static", action="store_true",
+                        help="use the static protocol for fig11-13 "
+                             "(faster, no phase adaptation)")
+    parser.add_argument("--no-sann", action="store_true",
+                        help="skip the SAnn algorithm in fig11-13")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render terminal charts where the "
+                             "experiment supports it")
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    module = EXPERIMENTS[name]
+    kwargs = {}
+    if name in ("fig4", "fig5") and args.dies is not None:
+        kwargs["n_dies"] = args.dies
+    if name in ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13") and args.trials is not None:
+        kwargs["n_trials"] = args.trials
+    if name in ("fig11", "fig12", "fig13"):
+        if args.static:
+            kwargs["protocol"] = "static"
+        if args.no_sann:
+            kwargs["include_sann"] = False
+    start = time.time()
+    result = module.run(**kwargs)
+    elapsed = time.time() - start
+    print(result.format_table())
+    if args.chart:
+        chart = _render_chart(name, result)
+        if chart:
+            print()
+            print(chart)
+    print(f"[{name} completed in {elapsed:.1f}s]")
+
+
+def _render_chart(name: str, result) -> Optional[str]:
+    """Terminal chart for the experiments with a natural one."""
+    from .report import bar_chart, histogram_chart, line_chart
+    if name == "fig4":
+        return "\n\n".join([
+            histogram_chart(result.power_ratios, title="Fig 4(a): "
+                            "core power ratio histogram"),
+            histogram_chart(result.freq_ratios, title="Fig 4(b): "
+                            "core frequency ratio histogram"),
+        ])
+    if name == "fig5":
+        return line_chart(result.sigma_over_mu,
+                          {"power ratio": result.power_ratio,
+                           "freq ratio": result.freq_ratio},
+                          title="Fig 5: ratios vs Vth sigma/mu")
+    if name == "fig14":
+        series = {f"{nt} threads": devs
+                  for nt, devs in result.deviation_pct.items()}
+        return line_chart(range(len(result.intervals_s)), series,
+                          title="Fig 14: |P - Ptarget| (%) per "
+                                "interval (left = longest)")
+    if name in ("fig11", "fig12", "fig13"):
+        some_key = sorted(result.results)[-1]
+        per = result.results[some_key]
+        labels = list(per)
+        values = [per[a].mips for a in labels]
+        return bar_chart(labels, values, baseline=1.0,
+                         title=f"{name}: relative throughput "
+                               f"({some_key})")
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            print(f"=== {name} ===")
+            _run_one(name, args)
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Trace-driven core simulator (the cycle-level SESC substitute)."""
+
+from .cache import Cache, CacheHierarchy, CacheStats, LINE_BYTES
+from .trace import (
+    Instruction,
+    InstrType,
+    TRACE_CLASSES,
+    TraceGenerator,
+    TraceParams,
+)
+from .core import (
+    CoreSimulator,
+    ISSUE_WIDTH,
+    MISPREDICT_PENALTY_CYCLES,
+    TraceSummary,
+)
+from .profile import (
+    SimulatedProfile,
+    derive_app_profile,
+    derive_class_profiles,
+    dynamic_power_from_activity,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoreSimulator",
+    "ISSUE_WIDTH",
+    "Instruction",
+    "InstrType",
+    "LINE_BYTES",
+    "MISPREDICT_PENALTY_CYCLES",
+    "SimulatedProfile",
+    "TRACE_CLASSES",
+    "TraceGenerator",
+    "TraceParams",
+    "TraceSummary",
+    "derive_app_profile",
+    "derive_class_profiles",
+    "dynamic_power_from_activity",
+]

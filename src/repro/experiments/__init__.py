@@ -1,0 +1,44 @@
+"""Paper-figure experiments, one module per figure/table (Section 7)."""
+
+from . import (
+    ablations,
+    ext_abb,
+    ext_aging,
+    ext_parallel,
+    fig04_variation,
+    fig05_sigma_sweep,
+    fig06_power_freq,
+    fig07_unifreq,
+    fig08_nunifreq_power,
+    fig09_nunifreq_perf,
+    fig10_nunifreq_ed2,
+    fig11_dvfs,
+    fig12_power_envs,
+    fig13_weighted,
+    fig14_granularity,
+    fig15_linopt_time,
+    table5_apps,
+)
+from .common import ChipFactory
+
+#: Experiment registry for the CLI: name -> module with a run().
+EXPERIMENTS = {
+    "fig4": fig04_variation,
+    "fig5": fig05_sigma_sweep,
+    "fig6": fig06_power_freq,
+    "table5": table5_apps,
+    "fig7": fig07_unifreq,
+    "fig8": fig08_nunifreq_power,
+    "fig9": fig09_nunifreq_perf,
+    "fig10": fig10_nunifreq_ed2,
+    "fig11": fig11_dvfs,
+    "fig12": fig12_power_envs,
+    "fig13": fig13_weighted,
+    "fig14": fig14_granularity,
+    "fig15": fig15_linopt_time,
+    "ext-parallel": ext_parallel,
+    "ext-aging": ext_aging,
+    "ext-abb": ext_abb,
+}
+
+__all__ = ["ChipFactory", "EXPERIMENTS", "ablations"]

@@ -1,0 +1,108 @@
+"""Shared infrastructure for the paper-figure experiments.
+
+Every experiment module exposes a ``run(...)`` function returning a
+result dataclass with a ``format_table()`` method that prints the same
+rows/series the paper's figure or table reports. Experiments default to
+reduced batch sizes so they complete in seconds; pass
+``n_dies=200, n_trials=20`` (or set the ``REPRO_FULL`` environment
+variable) for the paper's full protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chip import ChipProfile, characterize_die
+from ..config import ArchConfig, DEFAULT_ARCH, DEFAULT_TECH, TechParams
+from ..floorplan import Floorplan, build_floorplan
+from ..thermal import ThermalNetwork
+from ..variation import DieBatch
+
+# Reduced defaults for interactive runs; the paper uses 200 dies and
+# 20 workload trials per experiment.
+DEFAULT_N_DIES = 30
+DEFAULT_N_TRIALS = 8
+PAPER_N_DIES = 200
+PAPER_N_TRIALS = 20
+
+
+def full_run() -> bool:
+    """Whether the REPRO_FULL environment variable requests full scale."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def default_n_dies() -> int:
+    """Die-batch size: the paper's 200 under REPRO_FULL, else reduced."""
+    return PAPER_N_DIES if full_run() else DEFAULT_N_DIES
+
+
+def default_n_trials() -> int:
+    """Workload trials: the paper's 20 under REPRO_FULL, else reduced."""
+    return PAPER_N_TRIALS if full_run() else DEFAULT_N_TRIALS
+
+
+class ChipFactory:
+    """Caches floorplan, thermal network and characterised dies.
+
+    Characterisation is deterministic per (tech, arch, seed, die), so
+    caching is purely a speed concern — experiments share dies freely.
+    """
+
+    def __init__(self, tech: TechParams = DEFAULT_TECH,
+                 arch: ArchConfig = DEFAULT_ARCH, seed: int = 0) -> None:
+        self.tech = tech
+        self.arch = arch
+        self.seed = seed
+        self.floorplan: Floorplan = build_floorplan(arch)
+        self.thermal = ThermalNetwork(self.floorplan)
+        self._batch: Optional[DieBatch] = None
+        self._chips: Dict[int, ChipProfile] = {}
+
+    def _ensure_batch(self, n_dies: int) -> DieBatch:
+        if self._batch is None or self._batch.n_dies < n_dies:
+            self._batch = DieBatch(self.tech, self.arch, n_dies,
+                                   seed=self.seed)
+        return self._batch
+
+    def chip(self, die_index: int, n_dies_hint: int = 1) -> ChipProfile:
+        """Characterised chip for die ``die_index`` (cached)."""
+        if die_index not in self._chips:
+            batch = self._ensure_batch(max(die_index + 1, n_dies_hint))
+            self._chips[die_index] = characterize_die(
+                batch[die_index], self.tech, self.arch,
+                floorplan=self.floorplan, thermal=self.thermal)
+        return self._chips[die_index]
+
+    def chips(self, n_dies: int) -> List[ChipProfile]:
+        """The first ``n_dies`` characterised chips."""
+        return [self.chip(i, n_dies) for i in range(n_dies)]
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str = "") -> str:
+    """Plain-text table formatter used by every experiment."""
+    cols = len(header)
+    str_rows = [[f"{v:.3f}" if isinstance(v, float) else str(v)
+                 for v in row] for row in rows]
+    widths = [max(len(header[c]), *(len(r[c]) for r in str_rows))
+              if str_rows else len(header[c]) for c in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[c] for c in range(cols)))
+    for r in str_rows:
+        lines.append("  ".join(r[c].ljust(widths[c]) for c in range(cols)))
+    return "\n".join(lines)
+
+
+def histogram(values: np.ndarray, n_bins: int = 8,
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges for paper-style histograms (Fig 4)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("no values to histogram")
+    return np.histogram(values, bins=n_bins)

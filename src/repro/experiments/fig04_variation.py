@@ -1,0 +1,93 @@
+"""Figure 4: core-to-core power and frequency variation histograms.
+
+Fig. 4(a): for each die, every application is run alone on every core
+at the core's maximum operating point; the per-core average power
+(static + dynamic, including L1) is computed across applications, and
+the die's statistic is the ratio of the most- to least-power-consuming
+core. Fig. 4(b): the ratio between the fastest and slowest core's
+maximum frequency, binned at the hottest observed temperature.
+
+Paper reference values (sigma/mu = 0.12): power ratios mostly 1.4-1.7
+(average ~1.53); frequency ratios mostly 1.2-1.5 (average ~1.33).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..runtime.evaluation import Assignment, evaluate_max_levels
+from ..workloads import SPEC_APPS, Workload
+from .common import ChipFactory, default_n_dies, format_rows, histogram
+
+
+def core_power_ratio(chip: ChipProfile) -> float:
+    """Max/min per-core average power across all applications."""
+    mean_power = np.empty(chip.n_cores)
+    for core_id in range(chip.n_cores):
+        assignment = Assignment(core_of=(core_id,))
+        powers = []
+        for app in SPEC_APPS:
+            state = evaluate_max_levels(chip, Workload((app,)), assignment)
+            powers.append(float(state.core_power[0]))
+        mean_power[core_id] = np.mean(powers)
+    return float(mean_power.max() / mean_power.min())
+
+
+def core_frequency_ratio(chip: ChipProfile) -> float:
+    """Max/min core frequency (binned at the hot temperature)."""
+    fmax = chip.fmax_array
+    return float(fmax.max() / fmax.min())
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    """Per-die ratios plus derived histograms."""
+
+    power_ratios: np.ndarray
+    freq_ratios: np.ndarray
+
+    @property
+    def mean_power_ratio(self) -> float:
+        return float(self.power_ratios.mean())
+
+    @property
+    def mean_freq_ratio(self) -> float:
+        return float(self.freq_ratios.mean())
+
+    def format_table(self) -> str:
+        pw_counts, pw_edges = histogram(self.power_ratios)
+        fq_counts, fq_edges = histogram(self.freq_ratios)
+        rows_a = [[f"{pw_edges[i]:.2f}-{pw_edges[i+1]:.2f}",
+                   int(pw_counts[i])] for i in range(pw_counts.size)]
+        rows_b = [[f"{fq_edges[i]:.2f}-{fq_edges[i+1]:.2f}",
+                   int(fq_counts[i])] for i in range(fq_counts.size)]
+        parts = [
+            format_rows(["power ratio", "dies"], rows_a,
+                        "Figure 4(a): max/min core power ratio histogram"),
+            f"mean power ratio: {self.mean_power_ratio:.3f} "
+            "(paper: ~1.53, mostly 1.4-1.7)",
+            "",
+            format_rows(["freq ratio", "dies"], rows_b,
+                        "Figure 4(b): max/min core frequency ratio histogram"),
+            f"mean frequency ratio: {self.mean_freq_ratio:.3f} "
+            "(paper: ~1.33, mostly 1.2-1.5)",
+        ]
+        return "\n".join(parts)
+
+
+def run(n_dies: Optional[int] = None,
+        factory: Optional[ChipFactory] = None) -> Fig04Result:
+    """Reproduce Figure 4 on a batch of dies."""
+    n_dies = n_dies or default_n_dies()
+    factory = factory or ChipFactory()
+    power_ratios = []
+    freq_ratios = []
+    for chip in factory.chips(n_dies):
+        power_ratios.append(core_power_ratio(chip))
+        freq_ratios.append(core_frequency_ratio(chip))
+    return Fig04Result(power_ratios=np.array(power_ratios),
+                       freq_ratios=np.array(freq_ratios))

@@ -1,0 +1,60 @@
+"""Figure 5: power and frequency ratios versus Vth sigma/mu.
+
+Sweeps Vth sigma/mu over {0.03, 0.06, 0.09, 0.12} (Leff's sigma/mu
+follows at half, per Section 6.1) and reports the batch-average max/min
+core power and frequency ratios. The paper's shape: both ratios grow
+with sigma/mu, and even sigma/mu = 0.06 shows significant variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_TECH, TechParams
+from .common import ChipFactory, default_n_dies, format_rows
+from .fig04_variation import core_frequency_ratio, core_power_ratio
+
+SIGMA_OVER_MU_VALUES: Tuple[float, ...] = (0.03, 0.06, 0.09, 0.12)
+
+
+@dataclass(frozen=True)
+class Fig05Result:
+    """Mean ratios for each sigma/mu value."""
+
+    sigma_over_mu: Tuple[float, ...]
+    power_ratio: Tuple[float, ...]
+    freq_ratio: Tuple[float, ...]
+
+    def format_table(self) -> str:
+        rows = [[s, p, f] for s, p, f in zip(
+            self.sigma_over_mu, self.power_ratio, self.freq_ratio)]
+        return format_rows(
+            ["sigma/mu", "power ratio (5a)", "freq ratio (5b)"], rows,
+            "Figure 5: mean max/min core ratios vs Vth sigma/mu "
+            "(paper: both increase with sigma/mu)")
+
+
+def run(n_dies: Optional[int] = None,
+        sigma_values: Sequence[float] = SIGMA_OVER_MU_VALUES,
+        tech: TechParams = DEFAULT_TECH) -> Fig05Result:
+    """Reproduce Figure 5."""
+    n_dies = n_dies or max(default_n_dies() // 2, 8)
+    power_means: List[float] = []
+    freq_means: List[float] = []
+    for sigma in sigma_values:
+        factory = ChipFactory(tech=tech.with_sigma_over_mu(sigma))
+        p_ratios = []
+        f_ratios = []
+        for chip in factory.chips(n_dies):
+            p_ratios.append(core_power_ratio(chip))
+            f_ratios.append(core_frequency_ratio(chip))
+        power_means.append(float(np.mean(p_ratios)))
+        freq_means.append(float(np.mean(f_ratios)))
+    return Fig05Result(
+        sigma_over_mu=tuple(sigma_values),
+        power_ratio=tuple(power_means),
+        freq_ratio=tuple(freq_means),
+    )

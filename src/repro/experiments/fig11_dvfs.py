@@ -1,0 +1,78 @@
+"""Figure 11: NUniFreq+DVFS throughput (a) and ED^2 (b), Cost-Perf.
+
+Average throughput and ED^2 of the four power-budget algorithms,
+normalised to Random+Foxton*, in the Cost-Performance environment
+(75 W at 20 threads, scaled with thread count), for 4-20 threads.
+
+Paper shape to reproduce: VarF&AppIPC+Foxton* gains only 4-6 %;
+VarF&AppIPC+LinOpt is markedly better (paper: 12-17 % MIPS, 30-38 %
+ED^2 reduction); SAnn is within ~2 % of LinOpt despite orders of
+magnitude more computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import COST_PERFORMANCE, PowerEnvironment
+from .common import ChipFactory, default_n_trials, format_rows
+from .pm_runner import PmAverages, run_pm_comparison
+
+THREAD_COUNTS: Tuple[int, ...] = (4, 8, 16, 20)
+ALGO_ORDER = ("Random+Foxton*", "VarF&AppIPC+Foxton*",
+              "VarF&AppIPC+LinOpt", "VarF&AppIPC+SAnn")
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    results: Dict[int, Dict[str, PmAverages]]
+    env_name: str
+
+    def _algos(self) -> Tuple[str, ...]:
+        some = next(iter(self.results.values()))
+        return tuple(a for a in ALGO_ORDER if a in some)
+
+    def format_table(self) -> str:
+        algos = self._algos()
+        rows_a, rows_b = [], []
+        for nt in sorted(self.results):
+            per = self.results[nt]
+            rows_a.append([nt] + [per[a].mips for a in algos])
+            rows_b.append([nt] + [per[a].ed2 for a in algos])
+        header = ["threads"] + list(algos)
+        return "\n".join([
+            format_rows(header, rows_a,
+                        f"Figure 11(a): throughput relative to "
+                        f"Random+Foxton* ({self.env_name}; paper: LinOpt "
+                        "1.12-1.17, Foxton* 1.04-1.06)"),
+            "",
+            format_rows(header, rows_b,
+                        "Figure 11(b): ED^2 relative to Random+Foxton* "
+                        "(paper: LinOpt 0.62-0.70)"),
+        ])
+
+
+def run(
+    n_trials: Optional[int] = None,
+    n_dies: Optional[int] = None,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+    env: PowerEnvironment = COST_PERFORMANCE,
+    include_sann: bool = True,
+    protocol: str = "online",
+    factory: Optional[ChipFactory] = None,
+    seed: int = 0,
+) -> Fig11Result:
+    """Reproduce Figure 11."""
+    n_trials = n_trials or max(default_n_trials() // 2, 3)
+    n_dies = n_dies or n_trials
+    factory = factory or ChipFactory()
+    from .pm_runner import standard_algorithms
+    algorithms = standard_algorithms(include_sann=include_sann,
+                                     online=protocol == "online")
+    results = {}
+    for nt in thread_counts:
+        results[nt] = run_pm_comparison(
+            factory, env, nt, n_trials, n_dies,
+            algorithms=algorithms, protocol=protocol, seed=seed)
+    return Fig11Result(results=results, env_name=env.name)

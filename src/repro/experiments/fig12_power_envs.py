@@ -1,0 +1,58 @@
+"""Figure 12: throughput across the three Power Environments.
+
+All algorithms at 20 threads, normalised to Random+Foxton*, for the
+Low Power (50 W), Cost-Performance (75 W) and High Performance (100 W)
+budgets. Paper shape: the relative gains of VarF&AppIPC+LinOpt are
+largest at the tightest budget (16 % / 12 % / 11 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import POWER_ENVIRONMENTS, PowerEnvironment
+from .common import ChipFactory, default_n_trials, format_rows
+from .fig11_dvfs import ALGO_ORDER
+from .pm_runner import PmAverages, run_pm_comparison, standard_algorithms
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    results: Dict[str, Dict[str, PmAverages]]
+
+    def format_table(self) -> str:
+        some = next(iter(self.results.values()))
+        algos = tuple(a for a in ALGO_ORDER if a in some)
+        rows = []
+        for env_name, per in self.results.items():
+            rows.append([env_name] + [per[a].mips for a in algos])
+        header = ["power target"] + list(algos)
+        return format_rows(
+            header, rows,
+            "Figure 12: throughput relative to Random+Foxton*, 20 "
+            "threads (paper: LinOpt 1.16/1.12/1.11 across 50/75/100 W)")
+
+
+def run(
+    n_trials: Optional[int] = None,
+    n_dies: Optional[int] = None,
+    environments: Sequence[PowerEnvironment] = POWER_ENVIRONMENTS,
+    n_threads: int = 20,
+    include_sann: bool = True,
+    protocol: str = "online",
+    factory: Optional[ChipFactory] = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Reproduce Figure 12."""
+    n_trials = n_trials or max(default_n_trials() // 2, 3)
+    n_dies = n_dies or n_trials
+    factory = factory or ChipFactory()
+    algorithms = standard_algorithms(include_sann=include_sann,
+                                     online=protocol == "online")
+    results = {}
+    for env in environments:
+        results[env.name] = run_pm_comparison(
+            factory, env, n_threads, n_trials, n_dies,
+            algorithms=algorithms, protocol=protocol, seed=seed)
+    return Fig12Result(results=results)

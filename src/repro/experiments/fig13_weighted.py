@@ -1,0 +1,71 @@
+"""Figure 13: weighted throughput (a) and weighted ED^2 (b).
+
+Same experiment as Figure 11 but with weighted throughput "as the
+optimisation goal" (Section 7.5): LinOpt's LP objective and SAnn's
+energy maximise per-thread throughput normalised to its reference
+throughput — fair to low-IPC applications — and the reported metrics
+are the weighted ones. Paper shape: very similar to Figure 11 with
+slightly smaller improvements (9-14 % weighted MIPS, 24-33 % weighted
+ED^2 for LinOpt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import COST_PERFORMANCE, PowerEnvironment
+from .common import ChipFactory, default_n_trials, format_rows
+from .fig11_dvfs import ALGO_ORDER, THREAD_COUNTS
+from .pm_runner import PmAverages, run_pm_comparison, standard_algorithms
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    results: Dict[int, Dict[str, PmAverages]]
+    env_name: str
+
+    def format_table(self) -> str:
+        some = next(iter(self.results.values()))
+        algos = tuple(a for a in ALGO_ORDER if a in some)
+        rows_a, rows_b = [], []
+        for nt in sorted(self.results):
+            per = self.results[nt]
+            rows_a.append([nt] + [per[a].weighted_mips for a in algos])
+            rows_b.append([nt] + [per[a].weighted_ed2 for a in algos])
+        header = ["threads"] + list(algos)
+        return "\n".join([
+            format_rows(header, rows_a,
+                        "Figure 13(a): weighted throughput relative to "
+                        f"Random+Foxton* ({self.env_name}; paper: LinOpt "
+                        "1.09-1.14, slightly below Fig 11a)"),
+            "",
+            format_rows(header, rows_b,
+                        "Figure 13(b): weighted ED^2 relative to "
+                        "Random+Foxton* (paper: LinOpt 0.67-0.76)"),
+        ])
+
+
+def run(
+    n_trials: Optional[int] = None,
+    n_dies: Optional[int] = None,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+    env: PowerEnvironment = COST_PERFORMANCE,
+    include_sann: bool = True,
+    protocol: str = "online",
+    factory: Optional[ChipFactory] = None,
+    seed: int = 0,
+) -> Fig13Result:
+    """Reproduce Figure 13."""
+    n_trials = n_trials or max(default_n_trials() // 2, 3)
+    n_dies = n_dies or n_trials
+    factory = factory or ChipFactory()
+    algorithms = standard_algorithms(include_sann=include_sann,
+                                     online=protocol == "online",
+                                     objective="weighted")
+    results = {}
+    for nt in thread_counts:
+        results[nt] = run_pm_comparison(
+            factory, env, nt, n_trials, n_dies,
+            algorithms=algorithms, protocol=protocol, seed=seed)
+    return Fig13Result(results=results, env_name=env.name)

@@ -1,0 +1,94 @@
+"""Shared trial runner for the scheduling experiments (Figs. 7-10).
+
+Each trial draws a fresh multiprogrammed workload and runs it on one
+die of the batch (trials rotate through the dies); every policy sees
+the identical (die, workload, rng) triple so differences are purely
+algorithmic. Results are normalised to the Random baseline per trial
+and then averaged, matching the paper's protocol (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.evaluation import SystemState
+from ..sched import SchedulingPolicy
+from ..workloads import Workload, make_workload
+from .common import ChipFactory
+
+
+@dataclass(frozen=True)
+class PolicyAverages:
+    """Per-policy metric means, normalised to the baseline policy."""
+
+    policy: str
+    power: float
+    ed2: float
+    mips: float
+    frequency: float
+
+
+EvaluateFn = Callable[..., SystemState]
+
+
+def run_policy_comparison(
+    factory: ChipFactory,
+    policies: Sequence[SchedulingPolicy],
+    evaluate: EvaluateFn,
+    n_threads: int,
+    n_trials: int,
+    n_dies: int,
+    baseline: str = "Random",
+    seed: int = 0,
+) -> Dict[str, PolicyAverages]:
+    """Compare policies at one thread count.
+
+    Args:
+        factory: Chip cache for the die batch.
+        policies: Policies to compare (must include the baseline).
+        evaluate: ``evaluate(chip, workload, assignment) -> SystemState``
+            — the configuration being studied (UniFreq / NUniFreq).
+        n_threads: Threads per workload.
+        n_trials: Workload draws.
+        n_dies: Dies the trials rotate through.
+        baseline: Policy the metrics are normalised against.
+        seed: Base seed for workloads and policy randomness.
+
+    Returns:
+        Mapping policy name -> :class:`PolicyAverages` (baseline-
+        normalised; the baseline row is identically 1.0).
+    """
+    if not any(p.name == baseline for p in policies):
+        raise ValueError(f"baseline {baseline!r} not among the policies")
+    sums = {p.name: {"power": 0.0, "ed2": 0.0, "mips": 0.0, "freq": 0.0}
+            for p in policies}
+    for trial in range(n_trials):
+        chip = factory.chip(trial % n_dies, n_dies)
+        workload = make_workload(
+            n_threads, np.random.default_rng([seed, trial, 11]))
+        per_policy: Dict[str, SystemState] = {}
+        for policy in policies:
+            rng = np.random.default_rng([seed, trial, hash(policy.name)
+                                         & 0x7FFFFFFF])
+            assignment = policy.assign_with_profiling(chip, workload, rng)
+            per_policy[policy.name] = evaluate(chip, workload, assignment)
+        base = per_policy[baseline]
+        for name, state in per_policy.items():
+            sums[name]["power"] += state.total_power / base.total_power
+            sums[name]["ed2"] += state.ed2_relative / base.ed2_relative
+            sums[name]["mips"] += (state.throughput_mips
+                                   / base.throughput_mips)
+            sums[name]["freq"] += state.mean_frequency / base.mean_frequency
+    return {
+        name: PolicyAverages(
+            policy=name,
+            power=vals["power"] / n_trials,
+            ed2=vals["ed2"] / n_trials,
+            mips=vals["mips"] / n_trials,
+            frequency=vals["freq"] / n_trials,
+        )
+        for name, vals in sums.items()
+    }

@@ -1,0 +1,17 @@
+"""Die floorplans: geometry, functional units, CMP layout."""
+
+from .geometry import Rect
+from .units import CORE_UNITS, PlacedUnit, UnitKind, UnitSpec, layout_core_units
+from .cmp import Floorplan, L2_BAND_FRACTION, build_floorplan
+
+__all__ = [
+    "CORE_UNITS",
+    "Floorplan",
+    "L2_BAND_FRACTION",
+    "PlacedUnit",
+    "Rect",
+    "UnitKind",
+    "UnitSpec",
+    "build_floorplan",
+    "layout_core_units",
+]

@@ -1,0 +1,69 @@
+"""Alpha-power-law MOSFET delay model (Sakurai-Newton).
+
+Gate delay is modelled as
+
+    d = k * Leff * V / (V - Vth_eff)^alpha * mobility_factor(T)
+
+with ``alpha`` the velocity-saturation exponent. Temperature enters in
+two opposing ways: carrier mobility degrades as T rises (delay up) and
+Vth drops as T rises (delay down); at modern supply voltages the
+mobility term dominates, so circuits slow down when hot — which is why
+the paper bins core frequency at the hottest observed temperature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import T_REF_K, TechParams
+
+# Mobility scales roughly as (T/Tref)^-MOBILITY_EXPONENT.
+MOBILITY_EXPONENT = 1.5
+
+
+def vth_at_temperature(vth: np.ndarray, t_kelvin: float,
+                       tech: TechParams) -> np.ndarray:
+    """Threshold voltage adjusted for operating temperature."""
+    if t_kelvin <= 0:
+        raise ValueError("temperature must be positive kelvin")
+    return np.asarray(vth) + tech.vth_temp_coeff * (t_kelvin - T_REF_K)
+
+
+def mobility_factor(t_kelvin: float) -> float:
+    """Delay multiplier from mobility degradation at temperature T."""
+    if t_kelvin <= 0:
+        raise ValueError("temperature must be positive kelvin")
+    return float((t_kelvin / T_REF_K) ** MOBILITY_EXPONENT)
+
+
+def gate_delay(
+    vdd,
+    vth,
+    leff,
+    tech: TechParams,
+    t_kelvin: float = T_REF_K,
+):
+    """Relative gate delay under the alpha-power law.
+
+    Args:
+        vdd: Supply voltage(s).
+        vth: Threshold voltage(s) at the reference temperature.
+        leff: Effective gate length(s), metres.
+        tech: Technology parameters (supplies ``alpha_power``).
+        t_kelvin: Operating temperature.
+
+    Returns:
+        Delay in arbitrary consistent units (scaled to seconds by the
+        critical-path calibration). Broadcasting follows numpy rules.
+
+    Raises:
+        ValueError: if any transistor fails to be super-threshold at
+            ``vdd`` (the model only covers saturated operation).
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    vth_t = vth_at_temperature(vth, t_kelvin, tech)
+    leff = np.asarray(leff, dtype=float)
+    overdrive = vdd - vth_t
+    if np.any(overdrive <= 0):
+        raise ValueError("supply voltage at or below threshold voltage")
+    return (leff * vdd / overdrive ** tech.alpha_power) * mobility_factor(t_kelvin)

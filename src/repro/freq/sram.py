@@ -1,0 +1,66 @@
+"""SRAM access-time model for memory-dominated pipeline stages.
+
+Following the extension of Mukhopadhyay et al.'s 6-transistor-cell model
+used by VARIUS (Section 6.3), the access time of an SRAM structure is
+dominated by its *weakest* cell: the bitline discharge current of a cell
+goes as ``(V - Vth)^alpha / Leff``, and the array read time is set by
+the cell with the highest Vth (lowest read current) among the cells on
+the accessed path.
+
+With ``n`` cells drawing i.i.d. random Vth components, the expected
+worst-case random offset is the Gaussian upper quantile
+``sigma_ran * z(n)``; we use that deterministic equivalent plus the
+grid cell's systematic component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..config import TechParams
+from .alpha_power import gate_delay
+
+# Effective number of independent weakest-cell candidates per SRAM
+# stage (cells along the critical access path of the structure).
+SRAM_CELLS_PER_PATH = 4096
+
+
+def worst_cell_quantile(n_cells: int = SRAM_CELLS_PER_PATH) -> float:
+    """Expected standardised maximum of ``n_cells`` Gaussian draws.
+
+    Uses the standard extreme-value approximation
+    ``E[max] ~= Phi^-1(1 - 1/(n+1))`` which is accurate to a few percent
+    for the n we care about.
+    """
+    if n_cells < 1:
+        raise ValueError("n_cells must be at least 1")
+    return float(stats.norm.ppf(1.0 - 1.0 / (n_cells + 1)))
+
+
+def sram_access_delay(
+    vdd,
+    vth_sys,
+    leff_sys,
+    tech: TechParams,
+    t_kelvin: float,
+    n_cells: int = SRAM_CELLS_PER_PATH,
+):
+    """Relative access delay of an SRAM stage at a given grid cell.
+
+    Args:
+        vdd: Supply voltage(s).
+        vth_sys: Systematic Vth at the stage's location (V).
+        leff_sys: Systematic Leff at the stage's location (m).
+        tech: Technology parameters.
+        t_kelvin: Operating temperature.
+        n_cells: Cells on the accessed path (sets the worst-case
+            quantile of the random component).
+
+    Returns:
+        Delay in the same arbitrary units as :func:`gate_delay`.
+    """
+    z = worst_cell_quantile(n_cells)
+    sigma_ran = tech.vth_sigma / np.sqrt(2.0)
+    vth_worst = np.asarray(vth_sys) + z * sigma_ran
+    return gate_delay(vdd, vth_worst, leff_sys, tech, t_kelvin)

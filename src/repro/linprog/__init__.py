@@ -1,0 +1,17 @@
+"""From-scratch linear programming (two-phase Simplex)."""
+
+from .simplex import (
+    LpResult,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_UNBOUNDED,
+    solve_lp_maximize,
+)
+
+__all__ = [
+    "LpResult",
+    "STATUS_INFEASIBLE",
+    "STATUS_OPTIMAL",
+    "STATUS_UNBOUNDED",
+    "solve_lp_maximize",
+]

@@ -1,0 +1,15 @@
+"""Variation mitigation: adaptive body bias (Humenay et al.)."""
+
+from .abb import (
+    AbbParams,
+    bias_for_target_frequency,
+    biased_chip,
+    frequency_levelling_biases,
+)
+
+__all__ = [
+    "AbbParams",
+    "bias_for_target_frequency",
+    "biased_chip",
+    "frequency_levelling_biases",
+]

@@ -1,0 +1,5 @@
+"""Discrete optimisation engines (exact MCKP branch and bound)."""
+
+from .mckp import MckpItem, MckpSolution, solve_mckp
+
+__all__ = ["MckpItem", "MckpSolution", "solve_mckp"]

@@ -1,0 +1,24 @@
+"""Power-management algorithms: Foxton*, LinOpt, SAnn, exhaustive."""
+
+from .base import PmResult, PowerManager, meets_constraints
+from .foxton import FoxtonStar
+from .linopt import LinOpt, LinOptConfig, LinearPowerFit, fit_power_lines
+from .sann import SAnnManager
+from .exhaustive import ExhaustiveSearch
+from .optimal import OptimalFrozen
+from .barrier import BarrierAwarePm
+
+__all__ = [
+    "ExhaustiveSearch",
+    "BarrierAwarePm",
+    "OptimalFrozen",
+    "FoxtonStar",
+    "LinOpt",
+    "LinOptConfig",
+    "LinearPowerFit",
+    "PmResult",
+    "PowerManager",
+    "SAnnManager",
+    "fit_power_lines",
+    "meets_constraints",
+]

@@ -1,0 +1,79 @@
+"""Exhaustive search over DVFS level assignments.
+
+Ground truth for tiny configurations (Section 6.5 uses it to validate
+SAnn for up to 4 threads). The search space is ``n_levels^n_threads``,
+so a hard cap guards against accidental blow-ups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..config import PowerEnvironment
+from ..runtime.evaluation import Assignment, evaluate_levels
+from ..workloads import Workload
+from .base import PmResult, PowerManager, meets_constraints
+
+DEFAULT_COMBINATION_LIMIT = 50_000
+
+
+class ExhaustiveSearch(PowerManager):
+    """Evaluate every level combination; keep the best feasible one."""
+
+    name = "Exhaustive"
+
+    def __init__(self, combination_limit: int = DEFAULT_COMBINATION_LIMIT
+                 ) -> None:
+        if combination_limit < 1:
+            raise ValueError("combination_limit must be positive")
+        self.combination_limit = combination_limit
+
+    def set_levels(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        assignment: Assignment,
+        env: PowerEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        initial_levels=None,
+        initial_state=None,
+        ipc_multipliers=None,
+        ceff_multipliers=None,
+    ) -> PmResult:
+        p_target, p_core_max = self._budget(chip, assignment, env)
+        level_ranges = [range(chip.cores[c].vf_table.n_levels)
+                        for c in assignment.core_of]
+        n_combos = int(np.prod([len(r) for r in level_ranges]))
+        if n_combos > self.combination_limit:
+            raise ValueError(
+                f"{n_combos} combinations exceed the limit of "
+                f"{self.combination_limit}; exhaustive search only "
+                "scales to very small systems (the paper's point)")
+        best = None
+        best_state = None
+        fallback = None
+        fallback_state = None
+        evaluations = 0
+        for combo in itertools.product(*level_ranges):
+            state = evaluate_levels(chip, workload, assignment, list(combo),
+                                    ipc_multipliers=ipc_multipliers,
+                                    ceff_multipliers=ceff_multipliers)
+            evaluations += 1
+            if meets_constraints(state, p_target, p_core_max):
+                if (best_state is None
+                        or state.throughput_mips
+                        > best_state.throughput_mips):
+                    best, best_state = combo, state
+            elif (fallback_state is None
+                  or state.total_power < fallback_state.total_power):
+                fallback, fallback_state = combo, state
+        if best is None:
+            # No feasible point exists: return the lowest-power one.
+            best, best_state = fallback, fallback_state
+        return PmResult(levels=tuple(best), state=best_state,
+                        evaluations=evaluations,
+                        stats={"combinations": float(n_combos)})

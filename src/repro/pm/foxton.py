@@ -1,0 +1,129 @@
+"""Foxton* — the baseline power manager (Table 1).
+
+A small extension of the Itanium II Foxton controller to per-core
+DVFS: active cores are selected one at a time round-robin and the
+selected core's (V, f) is moved one step — down while the chip-wide
+``Ptarget`` or the per-core ``Pcoremax`` constraint is violated, up
+while there is budget headroom (the real Foxton controller raises
+voltage whenever power is below target). Cores whose individual power
+exceeds ``Pcoremax`` are stepped first, since the round-robin sweep
+alone may satisfy the chip budget while a single hot core still
+violates its cap.
+
+Like the hardware controller, Foxton* observes only power — it has no
+notion of each thread's IPC, which is exactly the information LinOpt
+adds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..config import PowerEnvironment
+from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..workloads import Workload
+from .base import PmResult, PowerManager, meets_constraints
+
+# Hard cap on (evaluate, step) iterations per invocation.
+_MAX_STEPS_FACTOR = 2
+
+
+class FoxtonStar(PowerManager):
+    """Round-robin step-down/step-up power controller."""
+
+    name = "Foxton*"
+
+    def __init__(self) -> None:
+        self._pointer = 0  # round-robin position persists across calls
+
+    def set_levels(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        assignment: Assignment,
+        env: PowerEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        initial_levels: Optional[Sequence[int]] = None,
+        initial_state: Optional[SystemState] = None,
+        ipc_multipliers: Optional[Sequence[float]] = None,
+        ceff_multipliers: Optional[Sequence[float]] = None,
+    ) -> PmResult:
+        p_target, p_core_max = self._budget(chip, assignment, env)
+        n = assignment.n_threads
+        levels: List[int] = (list(initial_levels)
+                             if initial_levels is not None
+                             else self._top_levels(chip, assignment))
+        top = [chip.cores[c].vf_table.n_levels - 1
+               for c in assignment.core_of]
+
+        def evaluate(lv):
+            return evaluate_levels(chip, workload, assignment, lv,
+                                   ipc_multipliers=ipc_multipliers,
+                                   ceff_multipliers=ceff_multipliers)
+
+        if initial_state is not None and initial_levels is not None:
+            state = initial_state
+            evaluations = 0
+        else:
+            state = evaluate(levels)
+            evaluations = 1
+        max_steps = _MAX_STEPS_FACTOR * n * max(
+            chip.cores[c].vf_table.n_levels for c in assignment.core_of)
+        steps = 0
+
+        # Phase 1: step down round-robin while constraints are violated.
+        while not meets_constraints(state, p_target, p_core_max):
+            if all(lv == 0 for lv in levels) or steps >= max_steps:
+                break  # floor reached: best effort, stay at minimum
+            over_cap = [i for i in range(n)
+                        if state.core_power[i] > p_core_max and levels[i] > 0]
+            if over_cap:
+                victim = over_cap[0]
+            else:
+                victim = -1
+                for _ in range(n):
+                    candidate = self._pointer % n
+                    self._pointer += 1
+                    if levels[candidate] > 0:
+                        victim = candidate
+                        break
+                if victim < 0:
+                    break
+            levels[victim] -= 1
+            state = evaluate(levels)
+            evaluations += 1
+            steps += 1
+
+        # Phase 2: step up round-robin while there is headroom. A step
+        # that turns out to violate a constraint is undone, and that
+        # core is not retried this invocation.
+        blocked = [False] * n
+        while (meets_constraints(state, p_target, p_core_max)
+               and steps < max_steps):
+            candidate = -1
+            for _ in range(n):
+                probe = self._pointer % n
+                self._pointer += 1
+                if not blocked[probe] and levels[probe] < top[probe]:
+                    candidate = probe
+                    break
+            if candidate < 0:
+                break
+            levels[candidate] += 1
+            trial = evaluate(levels)
+            evaluations += 1
+            steps += 1
+            if meets_constraints(trial, p_target, p_core_max):
+                state = trial
+            else:
+                levels[candidate] -= 1
+                blocked[candidate] = True
+        return PmResult(
+            levels=tuple(levels),
+            state=state,
+            evaluations=evaluations,
+            stats={"steps": float(steps)},
+        )

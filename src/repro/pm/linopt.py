@@ -1,0 +1,353 @@
+"""LinOpt — per-core DVFS by linear programming (Section 4.3.1).
+
+The optimisation: choose per-core voltages ``v_1..v_N`` maximising
+average throughput ``TP = (1/N) * sum_i ipc_i * f_i(v_i)`` subject to
+``sum_i p_i(v_i) <= Ptarget`` and ``p_i(v_i) <= Pcoremax``.
+
+Linearisation, exactly as the paper does it:
+
+* ``f_i(v)`` — linear fit of the core's manufacturer (V, f) table, so
+  ``tp_i ~ a_i * v_i`` (plus a constant that does not affect argmax).
+* ``ipc_i`` — measured once by the IPC sensor at the current operating
+  point and assumed frequency-independent.
+* ``p_i(v)`` — core power measured (power sensors) at three voltages
+  (Vlow, Vmid, Vhigh), least-squares fitted to ``b_i * v + c_i``
+  (Figure 1).
+
+The continuous LP optimum is then quantised to each core's discrete
+levels (floor by default), a sensor-guided correction loop fixes any
+residual violation, and — because floor-quantisation strands budget —
+an optional refill pass steps cores back up while the budget allows.
+
+Because the true p(V) is convex, a single global-chord LP is biased
+toward bang-bang solutions; LinOpt therefore runs *successive* LP
+passes, re-profiling power locally (within a trust region of DVFS
+levels) around the current operating point. Operationally this is the
+same refinement the paper's 10 ms re-invocation loop performs across
+invocations; the `ablation_slp` bench quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..config import PowerEnvironment
+from ..linprog import solve_lp_maximize
+from ..power import IpcSensor, PowerSensor
+from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..workloads import Workload
+from .base import PmResult, PowerManager, meets_constraints
+
+
+@dataclass(frozen=True)
+class LinOptConfig:
+    """Tunables of the LinOpt algorithm.
+
+    Attributes:
+        n_profile_voltages: Power-profiling points (3 per the paper;
+            2 is the cheaper variant Table 3 mentions — ablation).
+        rounding: "floor" (never exceed the LP voltage) or "nearest".
+        refill: Step freed budget back in after quantisation.
+        correction_limit: Max sensor-guided down-steps after rounding.
+        n_iterations: Profile->solve passes per invocation
+            (successive LP). The first pass uses the paper's global
+            Vlow/Vmid/Vhigh fit; later passes re-profile *locally*
+            around the current operating point, where the linear model
+            of the convex p(V) curve is accurate. The online loop of
+            Figure 2 performs the same refinement naturally across
+            10 ms invocations.
+        profile_span_levels: Half-width (in DVFS levels) of the local
+            profiling window used from the second pass on.
+        objective: "mips" maximises raw throughput; "weighted"
+            maximises weighted throughput (per-thread throughput
+            normalised to its reference throughput — the Figure 13
+            optimisation goal).
+    """
+
+    n_profile_voltages: int = 3
+    rounding: str = "floor"
+    refill: bool = True
+    correction_limit: int = 64
+    n_iterations: int = 6
+    profile_span_levels: int = 2
+    objective: str = "mips"
+
+    def __post_init__(self) -> None:
+        if self.n_profile_voltages < 2:
+            raise ValueError("need at least two profiling voltages")
+        if self.rounding not in ("floor", "nearest"):
+            raise ValueError("rounding must be 'floor' or 'nearest'")
+        if self.correction_limit < 0:
+            raise ValueError("correction_limit must be non-negative")
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be positive")
+        if self.objective not in ("mips", "weighted"):
+            raise ValueError("objective must be 'mips' or 'weighted'")
+
+
+@dataclass(frozen=True)
+class LinearPowerFit:
+    """Per-thread linear fit p(v) = slope * v + intercept."""
+
+    slope: np.ndarray
+    intercept: np.ndarray
+
+
+def fit_power_lines(
+    chip: ChipProfile,
+    workload: Workload,
+    assignment: Assignment,
+    core_temps: np.ndarray,
+    n_voltages: int,
+    power_sensor: PowerSensor,
+    center_levels: Optional[Sequence[int]] = None,
+    span_levels: int = 2,
+    ceff_multipliers: Optional[Sequence[float]] = None,
+) -> LinearPowerFit:
+    """Measure each thread-core pair's power at profile voltages, fit.
+
+    With ``center_levels=None`` the profiling points span the whole
+    voltage range (Vlow, [Vmid,] Vhigh — Figure 1, the paper's global
+    fit). With centres given, points are taken within ``span_levels``
+    DVFS levels of each thread's current level — the *local*
+    linearisation used by the successive-LP passes, which is accurate
+    where it matters because the true p(V) is convex.
+
+    Temperatures are frozen at the current thermal state during the
+    brief profiling runs (the runs are much shorter than thermal time
+    constants).
+    """
+    n = assignment.n_threads
+    ceff_mult = (np.ones(n) if ceff_multipliers is None
+                 else np.asarray(ceff_multipliers, dtype=float))
+    slope = np.empty(n)
+    intercept = np.empty(n)
+    for i, core_id in enumerate(assignment.core_of):
+        core = chip.cores[core_id]
+        table = core.vf_table
+        if center_levels is None:
+            level_set = sorted({
+                table.nearest_level_at_most(v)
+                for v in np.linspace(table.vmin, table.vmax, n_voltages)})
+        else:
+            centre = int(center_levels[i])
+            lo = max(centre - span_levels, 0)
+            hi = min(centre + span_levels, table.n_levels - 1)
+            if hi - lo < 1:  # widen degenerate windows
+                lo = max(hi - 1, 0)
+            level_set = sorted({lo, (lo + hi) // 2, hi})
+        xs, ys = [], []
+        for level in level_set:
+            v_lv = float(table.voltages[level])
+            f_lv = float(table.freqs[level])
+            true_p = (ceff_mult[i] * workload[i].dynamic_power_at(v_lv, f_lv)
+                      + core.leakage.power(v_lv, float(core_temps[core_id])))
+            xs.append(v_lv)
+            ys.append(power_sensor.read(true_p))
+        b, c = np.polyfit(np.array(xs), np.array(ys), 1)
+        slope[i] = b
+        intercept[i] = c
+    return LinearPowerFit(slope=slope, intercept=intercept)
+
+
+class LinOpt(PowerManager):
+    """Linear-programming power manager."""
+
+    name = "LinOpt"
+
+    def __init__(self, config: Optional[LinOptConfig] = None,
+                 power_sensor: Optional[PowerSensor] = None,
+                 ipc_sensor: Optional[IpcSensor] = None) -> None:
+        self.config = config or LinOptConfig()
+        self.power_sensor = power_sensor or PowerSensor()
+        self.ipc_sensor = ipc_sensor or IpcSensor()
+
+    def set_levels(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        assignment: Assignment,
+        env: PowerEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        initial_levels: Optional[Sequence[int]] = None,
+        initial_state: Optional[SystemState] = None,
+        ipc_multipliers: Optional[Sequence[float]] = None,
+        ceff_multipliers: Optional[Sequence[float]] = None,
+    ) -> PmResult:
+        p_target, p_core_max = self._budget(chip, assignment, env)
+        levels = (list(initial_levels) if initial_levels is not None
+                  else self._top_levels(chip, assignment))
+
+        def evaluate(lv):
+            return evaluate_levels(chip, workload, assignment, lv,
+                                   ipc_multipliers=ipc_multipliers,
+                                   ceff_multipliers=ceff_multipliers)
+
+        if initial_state is None:
+            current = evaluate(levels)
+            evaluations = 1
+        else:
+            current = initial_state
+            evaluations = 0
+
+        stats: dict = {"lp_pivots": 0.0, "lp_flops": 0.0,
+                       "corrections": 0.0, "refills": 0.0,
+                       "lp_optimal": 1.0}
+        best: Optional[tuple] = None
+        for iteration in range(self.config.n_iterations):
+            levels, current, evals = self._one_pass(
+                chip, workload, assignment, p_target, p_core_max,
+                levels, current, stats, evaluate,
+                ceff_multipliers=ceff_multipliers,
+                local=iteration > 0)
+            evaluations += evals
+            feasible = meets_constraints(current, p_target, p_core_max)
+            if self.config.objective == "weighted":
+                metric = current.weighted_throughput(workload)
+            else:
+                metric = current.throughput_mips
+            key = (feasible, metric)
+            if best is None or key > (best[0], best[1]):
+                best = (feasible, metric, list(levels), current)
+        levels, current = best[2], best[3]
+        return PmResult(levels=tuple(levels), state=current,
+                        evaluations=evaluations, stats=stats)
+
+    def _one_pass(self, chip, workload, assignment, p_target, p_core_max,
+                  levels, current, stats, evaluate, ceff_multipliers=None,
+                  local=False):
+        """One profile -> LP -> discretise -> correct -> refill pass."""
+        n = assignment.n_threads
+        evaluations = 0
+
+        # --- Gather profile data (Table 3) at the current state. ---
+        core_temps = current.block_temps[: chip.n_cores]
+        fit = fit_power_lines(chip, workload, assignment, core_temps,
+                              self.config.n_profile_voltages,
+                              self.power_sensor,
+                              center_levels=levels if local else None,
+                              span_levels=self.config.profile_span_levels,
+                              ceff_multipliers=ceff_multipliers)
+        ipcs = np.array([self.ipc_sensor.read(ipc) for ipc in current.ipcs])
+        f_slope = np.empty(n)
+        for i, core_id in enumerate(assignment.core_of):
+            f_slope[i], _ = chip.cores[core_id].vf_table.linear_fit()
+        weights = np.ones(n)
+        if self.config.objective == "weighted":
+            # Figure 13: the objective is per-thread throughput
+            # normalised by its reference throughput.
+            from ..workloads.applications import REF_FREQ_HZ
+            weights = np.array([1.0 / workload[i].throughput_at(
+                REF_FREQ_HZ) for i in range(n)]) * 1e9
+
+        uncore_power = self.power_sensor.read(current.l2_power)
+
+        # --- Build and solve the LP over x_i = v_i - Vlow. ---
+        # Local passes constrain each voltage to its profiling window
+        # (a trust region): the local linear fit is only valid nearby.
+        if local:
+            span = self.config.profile_span_levels
+            vlow = np.empty(n)
+            vhigh = np.empty(n)
+            for i, core_id in enumerate(assignment.core_of):
+                table = chip.cores[core_id].vf_table
+                lo = max(levels[i] - span, 0)
+                hi = min(levels[i] + span, table.n_levels - 1)
+                vlow[i] = table.voltages[lo]
+                vhigh[i] = table.voltages[hi]
+        else:
+            vlow = np.array([chip.cores[c].vf_table.vmin
+                             for c in assignment.core_of])
+            vhigh = np.array([chip.cores[c].vf_table.vmax
+                              for c in assignment.core_of])
+        objective = weights * ipcs * f_slope
+        total_rhs = (p_target - uncore_power
+                     - float(fit.intercept.sum())
+                     - float(fit.slope @ vlow))
+        a_rows = [fit.slope]
+        b_vals = [total_rhs]
+        for i in range(n):
+            row = np.zeros(n)
+            row[i] = fit.slope[i]
+            a_rows.append(row)
+            b_vals.append(p_core_max - fit.intercept[i]
+                          - fit.slope[i] * vlow[i])
+        lp = solve_lp_maximize(
+            c=objective,
+            a_ub=np.vstack(a_rows),
+            b_ub=np.array(b_vals),
+            upper=vhigh - vlow,
+        )
+        stats["lp_pivots"] += float(lp.iterations)
+        stats["lp_flops"] += float(lp.flops)
+        stats["lp_optimal"] = min(stats["lp_optimal"],
+                                  float(lp.is_optimal))
+
+        if lp.is_optimal:
+            v_star = vlow + lp.x
+        else:
+            # Budget below even the all-minimum point: run at the floor.
+            v_star = vlow.copy()
+
+        # --- Quantise to each core's discrete levels. ---
+        for i, core_id in enumerate(assignment.core_of):
+            table = chip.cores[core_id].vf_table
+            if self.config.rounding == "floor":
+                levels[i] = table.nearest_level_at_most(float(v_star[i]))
+            else:
+                levels[i] = int(np.argmin(np.abs(table.voltages - v_star[i])))
+        state = evaluate(levels)
+        evaluations += 1
+
+        # Marginal efficiency ranking (measured IPC * frequency slope
+        # per linearly-predicted watt) used by correction and refill.
+        efficiency = objective / np.maximum(fit.slope, 1e-9)
+
+        # --- Sensor-guided correction: enforce the hard constraints. ---
+        corrections = 0
+        while (not meets_constraints(state, p_target, p_core_max)
+               and corrections < self.config.correction_limit
+               and any(lv > 0 for lv in levels)):
+            over = [i for i in range(n)
+                    if state.core_power[i] > p_core_max and levels[i] > 0]
+            if over:
+                victim = over[0]
+            else:
+                # Step down the least-efficient thread still above floor.
+                candidates = [i for i in range(n) if levels[i] > 0]
+                victim = min(candidates, key=lambda i: efficiency[i])
+            levels[victim] -= 1
+            state = evaluate(levels)
+            evaluations += 1
+            corrections += 1
+        stats["corrections"] += float(corrections)
+
+        # --- Refill: reclaim budget stranded by floor-quantisation. ---
+        refills = 0
+        if self.config.refill and meets_constraints(state, p_target,
+                                                    p_core_max):
+            improved = True
+            while improved:
+                improved = False
+                order = np.argsort(-efficiency)
+                for i in order:
+                    core_id = assignment.core_of[int(i)]
+                    table = chip.cores[core_id].vf_table
+                    if levels[int(i)] >= table.n_levels - 1:
+                        continue
+                    trial = list(levels)
+                    trial[int(i)] += 1
+                    trial_state = evaluate(trial)
+                    evaluations += 1
+                    if meets_constraints(trial_state, p_target, p_core_max):
+                        levels = trial
+                        state = trial_state
+                        refills += 1
+                        improved = True
+                        break
+        stats["refills"] += float(refills)
+        return levels, state, evaluations

@@ -1,0 +1,194 @@
+"""SAnn — simulated-annealing power manager (Section 4.3.2).
+
+Searches the discrete space of per-core voltage-level assignments with
+the true (non-linearised) power model behind every evaluation. Used in
+the paper as a near-optimal but orders-of-magnitude-slower reference
+for LinOpt. As in Section 6.5:
+
+* the initial point comes from a simple greedy heuristic (our
+  Foxton*-style descent to feasibility),
+* the initial annealing temperature scales with the number of threads,
+* proposals are Gaussian-Markov steps whose scale tracks the current
+  annealing temperature,
+* cooling is logarithmic, and the search stops after a fixed number of
+  objective evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..anneal import simulated_annealing
+from ..chip import ChipProfile
+from ..config import PowerEnvironment
+from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..workloads import Workload
+from .base import PmResult, PowerManager, meets_constraints
+from .foxton import FoxtonStar
+
+# Penalty (in MIPS per watt of violation) pushing the search back into
+# the feasible region.
+CONSTRAINT_PENALTY_MIPS_PER_W = 50_000.0
+
+
+class SAnnManager(PowerManager):
+    """Simulated-annealing power manager."""
+
+    name = "SAnn"
+
+    def __init__(self, n_evaluations: int = 2000,
+                 initial_temp_per_thread: float = 150.0,
+                 objective: str = "mips") -> None:
+        if n_evaluations < 1:
+            raise ValueError("n_evaluations must be positive")
+        if initial_temp_per_thread <= 0:
+            raise ValueError("initial temperature must be positive")
+        if objective not in ("mips", "weighted"):
+            raise ValueError("objective must be 'mips' or 'weighted'")
+        self.n_evaluations = n_evaluations
+        self.initial_temp_per_thread = initial_temp_per_thread
+        self.objective = objective
+
+    def set_levels(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        assignment: Assignment,
+        env: PowerEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        initial_levels=None,
+        initial_state=None,
+        ipc_multipliers=None,
+        ceff_multipliers=None,
+    ) -> PmResult:
+        rng = rng or np.random.default_rng(0)
+        p_target, p_core_max = self._budget(chip, assignment, env)
+        n = assignment.n_threads
+        n_levels = [chip.cores[c].vf_table.n_levels
+                    for c in assignment.core_of]
+
+        greedy = FoxtonStar().set_levels(
+            chip, workload, assignment, env,
+            initial_levels=initial_levels, initial_state=initial_state,
+            ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers)
+        evaluations = greedy.evaluations
+
+        best_feasible: Optional[Tuple[Tuple[int, ...], SystemState]] = None
+        if meets_constraints(greedy.state, p_target, p_core_max):
+            best_feasible = (greedy.levels, greedy.state)
+
+        state_cache = {}
+
+        def metric_of(state) -> float:
+            if self.objective == "weighted":
+                # Scaled into the MIPS range so the annealing
+                # temperature and penalty keep their meaning.
+                return state.weighted_throughput(workload) * 1e3
+            return state.throughput_mips
+
+        def energy(levels: Tuple[int, ...]) -> float:
+            nonlocal best_feasible, evaluations
+            if levels in state_cache:
+                state = state_cache[levels]
+            else:
+                state = evaluate_levels(chip, workload, assignment,
+                                        list(levels),
+                                        ipc_multipliers=ipc_multipliers,
+                                        ceff_multipliers=ceff_multipliers)
+                state_cache[levels] = state
+                evaluations += 1
+            excess = max(state.total_power - p_target, 0.0)
+            excess += float(np.sum(np.maximum(
+                state.core_power - p_core_max, 0.0)))
+            feasible = excess <= 1e-9
+            if feasible and (best_feasible is None
+                             or metric_of(state)
+                             > metric_of(best_feasible[1])):
+                best_feasible = (levels, state)
+            return (-metric_of(state)
+                    + CONSTRAINT_PENALTY_MIPS_PER_W * excess)
+
+        def neighbour(levels: Tuple[int, ...], temp: float,
+                      nrng: np.random.Generator) -> Tuple[int, ...]:
+            # Gaussian-Markov kernel: step sizes scale with the current
+            # annealing temperature (normalised by the initial one).
+            scale = max(temp / initial_temp, 0.05)
+            out = list(levels)
+            n_moves = max(1, int(round(scale * max(1, n // 4))))
+            for _ in range(n_moves):
+                i = int(nrng.integers(n))
+                delta = int(round(nrng.standard_normal() * (1 + 2 * scale)))
+                if delta == 0:
+                    delta = 1 if nrng.random() < 0.5 else -1
+                out[i] = int(np.clip(out[i] + delta, 0, n_levels[i] - 1))
+            return tuple(out)
+
+        initial_temp = self.initial_temp_per_thread * n
+        result = simulated_annealing(
+            initial_state=tuple(greedy.levels),
+            energy_fn=energy,
+            neighbour_fn=neighbour,
+            rng=rng,
+            n_evaluations=self.n_evaluations,
+            initial_temp=initial_temp,
+        )
+
+        # Final quench: greedy single-step descent from the best state
+        # (the tuned SAnn of Section 6.5 reaches within 1% of the
+        # exhaustive optimum; the quench closes the stochastic tail).
+        current = result.best_state
+        current_e = energy(current)
+        for _ in range(6):
+            improved = False
+            # Single +-1 moves.
+            for i in range(n):
+                for delta in (+1, -1):
+                    cand = list(current)
+                    cand[i] = int(np.clip(cand[i] + delta, 0,
+                                          n_levels[i] - 1))
+                    cand = tuple(cand)
+                    if cand == current:
+                        continue
+                    cand_e = energy(cand)
+                    if cand_e < current_e - 1e-9:
+                        current, current_e = cand, cand_e
+                        improved = True
+            # Pairwise trades (step one thread down, another up):
+            # crosses the budget ridge single moves cannot.
+            for i in range(n):
+                for j in range(n):
+                    # current mutates inside the loop: re-check bounds
+                    # for every candidate pair.
+                    if current[i] == 0:
+                        break
+                    if j == i or current[j] >= n_levels[j] - 1:
+                        continue
+                    cand = list(current)
+                    cand[i] -= 1
+                    cand[j] += 1
+                    cand = tuple(cand)
+                    cand_e = energy(cand)
+                    if cand_e < current_e - 1e-9:
+                        current, current_e = cand, cand_e
+                        improved = True
+            if not improved:
+                break
+
+        if best_feasible is not None:
+            levels, state = best_feasible
+        else:
+            levels = result.best_state
+            state = state_cache[levels]
+        return PmResult(
+            levels=tuple(levels),
+            state=state,
+            evaluations=evaluations,
+            stats={
+                "sa_evaluations": float(result.evaluations),
+                "sa_acceptance": float(result.acceptance_rate),
+                "feasible": float(best_feasible is not None),
+            },
+        )

@@ -1,0 +1,41 @@
+"""Dynamic (switching) power model.
+
+Core dynamic power follows the classic ``P = Ceff * V^2 * f`` with an
+application-specific effective switched capacitance calibrated from the
+Table 5 measurements (dynamic power at 4 GHz / 1 V). The L2's dynamic
+power is modelled as a fixed fraction of aggregate core dynamic power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import scaling
+
+
+def dynamic_power(ceff, vdd, freq):
+    """Switching power ``Ceff * V^2 * f`` (broadcastable).
+
+    Args:
+        ceff: Effective switched capacitance (F).
+        vdd: Supply voltage (V).
+        freq: Clock frequency (Hz).
+
+    Returns:
+        Power in watts.
+    """
+    ceff = np.asarray(ceff, dtype=float)
+    vdd = np.asarray(vdd, dtype=float)
+    freq = np.asarray(freq, dtype=float)
+    if np.any(ceff < 0):
+        raise ValueError("Ceff must be non-negative")
+    if np.any(vdd <= 0) or np.any(freq < 0):
+        raise ValueError("voltage must be positive and frequency non-negative")
+    return ceff * vdd ** 2 * freq
+
+
+def l2_dynamic_power(total_core_dynamic: float) -> float:
+    """L2 switching power as a fraction of aggregate core dynamic."""
+    if total_core_dynamic < 0:
+        raise ValueError("core dynamic power must be non-negative")
+    return scaling.L2_DYNAMIC_FRACTION * total_core_dynamic

@@ -1,0 +1,60 @@
+"""On-chip power and IPC sensors (Foxton-style, Section 5.1).
+
+The scheduling and power-management algorithms never read model
+internals directly; they read sensors, which add configurable
+quantisation and Gaussian noise to the true value. With the default
+zero-noise settings the sensors are transparent, which keeps the
+headline experiments deterministic; the sensor-noise robustness bench
+turns noise on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SensorSpec:
+    """Noise/quantisation characteristics of a sensor."""
+
+    noise_sigma: float = 0.0
+    quantum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0 or self.quantum < 0:
+            raise ValueError("sensor parameters must be non-negative")
+
+
+class Sensor:
+    """A scalar sensor with optional noise and quantisation."""
+
+    def __init__(self, spec: Optional[SensorSpec] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.spec = spec or SensorSpec()
+        self._rng = rng or np.random.default_rng(0)
+
+    def read(self, true_value: float) -> float:
+        """Observe a true value through the sensor."""
+        value = float(true_value)
+        if self.spec.noise_sigma > 0:
+            value += self.spec.noise_sigma * float(self._rng.standard_normal())
+        if self.spec.quantum > 0:
+            value = round(value / self.spec.quantum) * self.spec.quantum
+        return value
+
+
+class PowerSensor(Sensor):
+    """Per-core or chip-level power sensor (watts)."""
+
+    def read(self, true_value: float) -> float:
+        return max(super().read(true_value), 0.0)
+
+
+class IpcSensor(Sensor):
+    """Per-core performance-counter-derived IPC sensor."""
+
+    def read(self, true_value: float) -> float:
+        return max(super().read(true_value), 0.0)

@@ -1,0 +1,131 @@
+"""Terminal-friendly chart rendering for experiment results.
+
+The repository is terminal-first (no plotting dependencies), so the
+figures the paper draws as bar/line charts are rendered as Unicode
+block charts: grouped horizontal bars for the policy comparisons and a
+down-sampled line chart for sweeps. Purely presentational — every
+chart is built from the same result dataclasses the tables print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+BAR_CHARS = " ▏▎▍▌▋▊▉█"
+DEFAULT_WIDTH = 48
+
+
+def _scaled_bar(value: float, vmax: float, width: int) -> str:
+    """A horizontal bar of fractional-block characters."""
+    if vmax <= 0:
+        return ""
+    fraction = max(min(value / vmax, 1.0), 0.0)
+    cells = fraction * width
+    full = int(cells)
+    rem = cells - full
+    partial = BAR_CHARS[int(rem * (len(BAR_CHARS) - 1))]
+    return "█" * full + (partial if full < width else "")
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = DEFAULT_WIDTH,
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart.
+
+    Args:
+        labels: Row labels.
+        values: One value per label.
+        title: Optional heading.
+        width: Bar width in characters at the maximum value.
+        baseline: If given, a reference value marked on each row
+            (useful for "relative to 1.0" figures).
+
+    Returns:
+        The rendered chart as a multi-line string.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    if not labels:
+        raise ValueError("nothing to chart")
+    if width < 8:
+        raise ValueError("width too small")
+    vmax = max(list(values) + ([baseline] if baseline else []))
+    label_w = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _scaled_bar(float(value), vmax, width)
+        lines.append(f"{str(label):>{label_w}} | {bar} {value:.3f}")
+    if baseline is not None and vmax > 0:
+        mark = int(min(baseline / vmax, 1.0) * width)
+        lines.append(" " * (label_w + 3) + " " * mark
+                     + f"^ {baseline:g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Down-sampled multi-series line chart on a character canvas."""
+    if not series:
+        raise ValueError("nothing to chart")
+    xs = np.asarray(xs, dtype=float)
+    for name, ys in series.items():
+        if len(ys) != xs.size:
+            raise ValueError(f"series {name!r} length mismatch")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    all_y = np.concatenate([np.asarray(ys, dtype=float)
+                            for ys in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for k, (name, ys) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for x, y in zip(xs, np.asarray(ys, dtype=float)):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y_hi - y) / (y_hi - y_lo) * (height - 1))
+            canvas[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3f} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3f} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + f"{x_lo:g}" + " " * max(
+        width - len(f"{x_lo:g}") - len(f"{x_hi:g}"), 1) + f"{x_hi:g}")
+    legend = "   ".join(f"{markers[k % len(markers)]} {name}"
+                        for k, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def histogram_chart(values: Sequence[float], n_bins: int = 8,
+                    title: str = "", width: int = 40) -> str:
+    """Paper-style histogram (Figure 4) as horizontal bars."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("nothing to chart")
+    counts, edges = np.histogram(values, bins=n_bins)
+    labels = [f"{edges[i]:.2f}-{edges[i + 1]:.2f}"
+              for i in range(n_bins)]
+    return bar_chart(labels, counts.astype(float), title=title,
+                     width=width)

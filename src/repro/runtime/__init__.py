@@ -1,0 +1,25 @@
+"""Runtime layer: system evaluation, profiling, online simulation."""
+
+from .evaluation import (
+    Assignment,
+    SystemState,
+    evaluate_explicit,
+    evaluate_levels,
+    evaluate_max_levels,
+    evaluate_uniform_frequency,
+)
+from .profiling import ThreadProfile, profile_threads
+from .simulation import OnlineSimulation, SimulationTrace
+
+__all__ = [
+    "Assignment",
+    "SystemState",
+    "ThreadProfile",
+    "evaluate_explicit",
+    "evaluate_levels",
+    "evaluate_max_levels",
+    "evaluate_uniform_frequency",
+    "profile_threads",
+    "OnlineSimulation",
+    "SimulationTrace",
+]

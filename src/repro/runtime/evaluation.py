@@ -1,0 +1,264 @@
+"""System-level evaluation of an operating point.
+
+Given a characterised chip, a workload, an assignment of threads to
+cores and per-core DVFS settings, compute the steady-state power,
+temperature and performance of the CMP. Idle cores are power-gated
+(the paper assumes unused cores are powered off). Total chip power
+includes core dynamic + leakage, and the shared L2's dynamic + leakage
+(Section 6.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..power.scaling import L2_DYNAMIC_FRACTION
+from ..thermal import solve_with_leakage
+from ..workloads import REF_FREQ_HZ, Workload
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Thread-to-core mapping: ``core_of[i]`` is thread i's core."""
+
+    core_of: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.core_of:
+            raise ValueError("assignment must map at least one thread")
+        if len(set(self.core_of)) != len(self.core_of):
+            raise ValueError("two threads mapped to the same core")
+        if any(c < 0 for c in self.core_of):
+            raise ValueError("negative core id")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.core_of)
+
+    @property
+    def active_cores(self) -> Tuple[int, ...]:
+        return self.core_of
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """Steady-state outcome of evaluating one operating point.
+
+    Per-thread arrays are ordered by thread index. Powers are watts,
+    frequencies Hz, temperatures kelvin.
+    """
+
+    voltages: np.ndarray
+    freqs: np.ndarray
+    ipcs: np.ndarray
+    core_dynamic: np.ndarray
+    core_leakage: np.ndarray
+    block_temps: np.ndarray
+    l2_power: float
+    total_power: float
+
+    @property
+    def core_power(self) -> np.ndarray:
+        """Per-thread total core power (W)."""
+        return self.core_dynamic + self.core_leakage
+
+    @property
+    def throughput_mips(self) -> float:
+        """Aggregate throughput in MIPS (Section 6.6)."""
+        return float(np.sum(self.ipcs * self.freqs) / 1e6)
+
+    @property
+    def per_thread_mips(self) -> np.ndarray:
+        return self.ipcs * self.freqs / 1e6
+
+    @property
+    def mean_frequency(self) -> float:
+        """Average frequency of the active cores (Hz)."""
+        return float(np.mean(self.freqs))
+
+    def weighted_throughput(self, workload: Workload) -> float:
+        """Weighted throughput: sum of per-thread normalised MIPS.
+
+        Each thread's throughput is normalised to its throughput at
+        reference conditions (nominal frequency), giving equal weight
+        to all applications (Snavely-Tullsen style, Section 6.6).
+        """
+        if workload.n_threads != self.ipcs.size:
+            raise ValueError("workload does not match this state")
+        ref = np.array([app.throughput_at(REF_FREQ_HZ) for app in workload])
+        return float(np.sum(self.ipcs * self.freqs / ref))
+
+    @property
+    def ed2_relative(self) -> float:
+        """Energy-delay-squared metric, up to a constant factor.
+
+        For a fixed instruction count N: E = P * N / TP and
+        D = N / TP, so ED^2 = P * N^3 / TP^3. The N^3 factor is common
+        to all configurations of one workload, so P / TP^3 compares
+        directly (the paper always plots ED^2 *relative* to a
+        baseline).
+        """
+        tp = self.throughput_mips
+        if tp <= 0:
+            return float("inf")
+        return self.total_power / tp ** 3
+
+    def weighted_ed2_relative(self, workload: Workload) -> float:
+        """ED^2 computed on weighted throughput (Figure 13b)."""
+        tp = self.weighted_throughput(workload)
+        if tp <= 0:
+            return float("inf")
+        return self.total_power / tp ** 3
+
+
+def evaluate_explicit(
+    chip: ChipProfile,
+    workload: Workload,
+    assignment: Assignment,
+    voltages: Sequence[float],
+    freqs: Sequence[float],
+    ipc_multipliers: Optional[Sequence[float]] = None,
+    ceff_multipliers: Optional[Sequence[float]] = None,
+) -> SystemState:
+    """Evaluate an operating point given explicit per-thread (V, f).
+
+    Args:
+        chip: Characterised die.
+        workload: The threads (``workload[i]`` runs on
+            ``assignment.core_of[i]``).
+        assignment: Thread-to-core mapping.
+        voltages: Per-thread core supply voltage (V).
+        freqs: Per-thread core frequency (Hz).
+        ipc_multipliers: Optional per-thread phase IPC multipliers.
+        ceff_multipliers: Optional per-thread phase power multipliers.
+
+    Returns:
+        The converged :class:`SystemState`.
+    """
+    n = assignment.n_threads
+    if workload.n_threads != n:
+        raise ValueError("workload and assignment sizes differ")
+    if max(assignment.core_of) >= chip.n_cores:
+        raise ValueError("assignment references a core beyond the die")
+    volts = np.asarray(voltages, dtype=float)
+    fr = np.asarray(freqs, dtype=float)
+    if volts.shape != (n,) or fr.shape != (n,):
+        raise ValueError("need one voltage and frequency per thread")
+    ipc_mult = (np.ones(n) if ipc_multipliers is None
+                else np.asarray(ipc_multipliers, dtype=float))
+    ceff_mult = (np.ones(n) if ceff_multipliers is None
+                 else np.asarray(ceff_multipliers, dtype=float))
+
+    ipcs = np.array([
+        workload[i].ipc_at(fr[i]) * ipc_mult[i] for i in range(n)])
+    core_dyn = np.array([
+        workload[i].ceff * ceff_mult[i] * volts[i] ** 2 * fr[i]
+        for i in range(n)])
+
+    n_cores = chip.n_cores
+    n_blocks = chip.thermal.n_blocks
+    block_dyn = np.zeros(n_blocks)
+    for i, core in enumerate(assignment.core_of):
+        block_dyn[core] = core_dyn[i]
+    l2_dyn_total = L2_DYNAMIC_FRACTION * float(core_dyn.sum())
+    l2_share = np.array([r.area for r in chip.floorplan.l2_blocks])
+    l2_share = l2_share / l2_share.sum()
+    block_dyn[n_cores:] = l2_dyn_total * l2_share
+
+    core_volt = np.zeros(n_cores)
+    for i, core in enumerate(assignment.core_of):
+        core_volt[core] = volts[i]
+    active = np.zeros(n_cores, dtype=bool)
+    for core in assignment.core_of:
+        active[core] = True
+
+    def leakage_fn(temps: np.ndarray) -> np.ndarray:
+        leak = np.zeros(n_blocks)
+        for core in range(n_cores):
+            if active[core]:
+                leak[core] = chip.cores[core].leakage.power(
+                    core_volt[core], temps[core])
+        leak[n_cores:] = chip.l2_leakage.power_per_block(temps[n_cores:])
+        return leak
+
+    solution = solve_with_leakage(chip.thermal, block_dyn, leakage_fn)
+    temps = solution.block_temps_k
+    core_leak = np.array([
+        chip.cores[core].leakage.power(volts[i], temps[core])
+        for i, core in enumerate(assignment.core_of)])
+    l2_power = float(solution.block_power_w[n_cores:].sum())
+    total = float(core_dyn.sum() + core_leak.sum()) + l2_power
+    return SystemState(
+        voltages=volts,
+        freqs=fr,
+        ipcs=ipcs,
+        core_dynamic=core_dyn,
+        core_leakage=core_leak,
+        block_temps=temps,
+        l2_power=l2_power,
+        total_power=total,
+    )
+
+
+def evaluate_levels(
+    chip: ChipProfile,
+    workload: Workload,
+    assignment: Assignment,
+    levels: Sequence[int],
+    ipc_multipliers: Optional[Sequence[float]] = None,
+    ceff_multipliers: Optional[Sequence[float]] = None,
+) -> SystemState:
+    """Evaluate with per-thread DVFS levels into each core's V/f table."""
+    n = assignment.n_threads
+    levels = list(levels)
+    if len(levels) != n:
+        raise ValueError("need one level per thread")
+    if max(assignment.core_of) >= chip.n_cores:
+        raise ValueError("assignment references a core beyond the die")
+    volts = np.empty(n)
+    freqs = np.empty(n)
+    for i, core in enumerate(assignment.core_of):
+        table = chip.cores[core].vf_table
+        if not 0 <= levels[i] < table.n_levels:
+            raise ValueError(f"level {levels[i]} out of range for core {core}")
+        volts[i] = table.voltages[levels[i]]
+        freqs[i] = table.freqs[levels[i]]
+    return evaluate_explicit(chip, workload, assignment, volts, freqs,
+                             ipc_multipliers, ceff_multipliers)
+
+
+def evaluate_max_levels(
+    chip: ChipProfile,
+    workload: Workload,
+    assignment: Assignment,
+) -> SystemState:
+    """NUniFreq operating point: every core at its own (Vmax, fmax)."""
+    if max(assignment.core_of) >= chip.n_cores:
+        raise ValueError("assignment references a core beyond the die")
+    top = [chip.cores[c].vf_table.n_levels - 1 for c in assignment.core_of]
+    return evaluate_levels(chip, workload, assignment, top)
+
+
+def evaluate_uniform_frequency(
+    chip: ChipProfile,
+    workload: Workload,
+    assignment: Assignment,
+    freq_hz: Optional[float] = None,
+) -> SystemState:
+    """UniFreq operating point: all cores at the chip frequency.
+
+    The chip frequency defaults to the slowest core's fmax (all cores
+    run at the frequency of the slowest one, Section 4.1); all cores
+    are at maximum voltage since there is no DVFS.
+    """
+    f_chip = chip.min_fmax if freq_hz is None else float(freq_hz)
+    if f_chip <= 0:
+        raise ValueError("chip frequency must be positive")
+    n = assignment.n_threads
+    volts = np.full(n, chip.tech.vdd_max)
+    freqs = np.full(n, f_chip)
+    return evaluate_explicit(chip, workload, assignment, volts, freqs)

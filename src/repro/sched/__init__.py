@@ -1,0 +1,23 @@
+"""Variation-aware scheduling policies (Table 1)."""
+
+from .base import SchedulingPolicy
+from .policies import (
+    POLICIES,
+    RandomPolicy,
+    VarF,
+    VarFAppIPC,
+    VarP,
+    VarPAppP,
+    VarTemp,
+)
+
+__all__ = [
+    "POLICIES",
+    "RandomPolicy",
+    "SchedulingPolicy",
+    "VarF",
+    "VarFAppIPC",
+    "VarP",
+    "VarPAppP",
+    "VarTemp",
+]

@@ -1,0 +1,59 @@
+"""Scheduling-policy interface.
+
+A policy maps a workload onto cores of a characterised chip using only
+the profile information Table 3 grants it. Policies complement the
+OS's other criteria (priority, fairness); here they are evaluated in
+isolation, as in the paper. The number of threads never exceeds the
+number of cores (Section 4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..runtime.evaluation import Assignment
+from ..runtime.profiling import ThreadProfile, profile_threads
+from ..workloads import Workload
+
+
+class SchedulingPolicy(abc.ABC):
+    """Base class for thread-to-core mapping policies."""
+
+    #: Human-readable policy name, as used in Table 1.
+    name: str = "base"
+
+    #: Whether the policy consumes dynamic thread profiles (IPC or
+    #: dynamic power). Policies that do not can skip profiling.
+    needs_thread_profile: bool = False
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        rng: np.random.Generator,
+        profile: Optional[ThreadProfile] = None,
+    ) -> Assignment:
+        """Map each thread of ``workload`` to a distinct core."""
+
+    def assign_with_profiling(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        rng: np.random.Generator,
+    ) -> Assignment:
+        """Convenience: profile the threads (if needed), then assign."""
+        profile = None
+        if self.needs_thread_profile:
+            profile = profile_threads(chip, workload, rng)
+        return self.assign(chip, workload, rng, profile)
+
+    @staticmethod
+    def _check(chip: ChipProfile, workload: Workload) -> None:
+        if workload.n_threads > chip.n_cores:
+            raise ValueError(
+                f"{workload.n_threads} threads exceed {chip.n_cores} cores")

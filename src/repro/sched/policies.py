@@ -1,0 +1,166 @@
+"""The scheduling algorithms of Table 1.
+
+Minimise power:
+    * :class:`RandomPolicy`  — threads on random cores (baseline).
+    * :class:`VarP`          — random mapping onto the N lowest-static-
+      power cores.
+    * :class:`VarPAppP`      — highest-dynamic-power threads onto the
+      lowest-static-power cores ("even out" power, avoid hot spots).
+
+Maximise performance:
+    * :class:`VarF`          — random mapping onto the N highest-
+      frequency cores.
+    * :class:`VarFAppIPC`    — highest-IPC threads onto the highest-
+      frequency cores (low-IPC threads gain less from frequency).
+
+Extension (paper Section 8 future work):
+    * :class:`VarTemp`       — like VarP but ranks cores by a blend of
+      static power and the core's thermal exposure (cores surrounded
+      by other hot cores rank worse), reducing hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..runtime.evaluation import Assignment
+from ..runtime.profiling import ThreadProfile
+from ..workloads import Workload
+from .base import SchedulingPolicy
+
+
+def _random_onto(cores: Sequence[int], n_threads: int,
+                 rng: np.random.Generator) -> Assignment:
+    """Randomly map ``n_threads`` threads onto the given cores."""
+    chosen = rng.permutation(np.asarray(cores))[:n_threads]
+    return Assignment(core_of=tuple(int(c) for c in chosen))
+
+
+def _ranked_onto(cores_ranked: Sequence[int],
+                 thread_rank: np.ndarray) -> Assignment:
+    """Map threads (best-first order) onto cores (best-first order).
+
+    ``thread_rank`` holds thread indices sorted best-first; thread
+    ``thread_rank[k]`` goes to ``cores_ranked[k]``.
+    """
+    core_of: List[int] = [0] * len(thread_rank)
+    for k, thread in enumerate(thread_rank):
+        core_of[int(thread)] = int(cores_ranked[k])
+    return Assignment(core_of=tuple(core_of))
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Baseline: threads on random cores."""
+
+    name = "Random"
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        return _random_onto(range(chip.n_cores), workload.n_threads, rng)
+
+
+class VarP(SchedulingPolicy):
+    """Random mapping onto the N lowest-static-power cores."""
+
+    name = "VarP"
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        order = np.argsort(chip.static_rated_array)  # ascending static
+        pool = order[: workload.n_threads]
+        return _random_onto(pool, workload.n_threads, rng)
+
+
+class VarPAppP(SchedulingPolicy):
+    """Highest-dynamic-power threads onto lowest-static-power cores."""
+
+    name = "VarP&AppP"
+    needs_thread_profile = True
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        if profile is None:
+            raise ValueError("VarP&AppP needs a thread profile")
+        cores_ranked = np.argsort(chip.static_rated_array)[: workload.n_threads]
+        threads_ranked = np.argsort(profile.ceff_estimate)[::-1]
+        return _ranked_onto(cores_ranked, threads_ranked)
+
+
+class VarF(SchedulingPolicy):
+    """Random mapping onto the N highest-frequency cores."""
+
+    name = "VarF"
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        order = np.argsort(chip.fmax_array)[::-1]  # descending fmax
+        pool = order[: workload.n_threads]
+        return _random_onto(pool, workload.n_threads, rng)
+
+
+class VarFAppIPC(SchedulingPolicy):
+    """Highest-IPC threads onto highest-frequency cores."""
+
+    name = "VarF&AppIPC"
+    needs_thread_profile = True
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        if profile is None:
+            raise ValueError("VarF&AppIPC needs a thread profile")
+        cores_ranked = np.argsort(chip.fmax_array)[::-1][: workload.n_threads]
+        threads_ranked = np.argsort(profile.ipc_estimate)[::-1]
+        return _ranked_onto(cores_ranked, threads_ranked)
+
+
+class VarTemp(SchedulingPolicy):
+    """Temperature-aware VarP variant (paper Section 8 extension).
+
+    Cores are ranked by rated static power plus a thermal-exposure
+    penalty: the area-normalised inverse distance to the die centre,
+    where heat concentrates. Centre cores with high static power rank
+    worst; cool edge cores with low leakage rank best.
+    """
+
+    name = "VarTemp"
+
+    def __init__(self, exposure_weight: float = 0.5) -> None:
+        if exposure_weight < 0:
+            raise ValueError("exposure_weight must be non-negative")
+        self.exposure_weight = exposure_weight
+
+    def assign(self, chip: ChipProfile, workload: Workload,
+               rng: np.random.Generator,
+               profile: Optional[ThreadProfile] = None) -> Assignment:
+        self._check(chip, workload)
+        static = chip.static_rated_array
+        cx, cy = chip.floorplan.die.centre
+        half_edge = chip.floorplan.die.width / 2
+        exposure = np.empty(chip.n_cores)
+        for i, rect in enumerate(chip.floorplan.cores):
+            x, y = rect.centre
+            dist = ((x - cx) ** 2 + (y - cy) ** 2) ** 0.5
+            exposure[i] = 1.0 - dist / half_edge  # 1 at centre, ~0 at edge
+        score = static / static.mean() + self.exposure_weight * exposure
+        pool = np.argsort(score)[: workload.n_threads]
+        return _random_onto(pool, workload.n_threads, rng)
+
+
+#: Registry of the paper's Table 1 policies, by name.
+POLICIES = {
+    p.name: p for p in (
+        RandomPolicy(), VarP(), VarPAppP(), VarF(), VarFAppIPC(), VarTemp())
+}

@@ -1,0 +1,84 @@
+"""Die and die-batch abstractions.
+
+A :class:`Die` couples a die identifier with its variation map. A
+:class:`DieBatch` is a reproducible collection of dies generated from a
+single seed, mirroring the paper's batches of 200 dies per experiment
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ArchConfig, TechParams
+from .varius import VariationMap, generate_variation_map
+
+
+@dataclass(frozen=True)
+class Die:
+    """One manufactured die: identifier plus variation map."""
+
+    die_id: int
+    variation: VariationMap
+
+    def __post_init__(self) -> None:
+        if self.die_id < 0:
+            raise ValueError("die_id must be non-negative")
+
+
+class DieBatch(Sequence):
+    """A reproducible batch of dies sharing statistical parameters.
+
+    Iterating or indexing yields :class:`Die` objects. Generation is
+    lazy and cached: each die is produced on first access from a
+    deterministic per-die seed derived from the batch seed, so
+    ``batch[5]`` is identical whether or not dies 0-4 were generated.
+    """
+
+    def __init__(
+        self,
+        tech: TechParams,
+        arch: ArchConfig,
+        n_dies: int,
+        seed: int = 0,
+        method: Optional[str] = None,
+    ) -> None:
+        if n_dies <= 0:
+            raise ValueError("n_dies must be positive")
+        self.tech = tech
+        self.arch = arch
+        self.n_dies = n_dies
+        self.seed = seed
+        self._method = method
+        self._cache: List[Optional[Die]] = [None] * n_dies
+
+    def __len__(self) -> int:
+        return self.n_dies
+
+    def __getitem__(self, index: int) -> Die:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.n_dies))]
+        if index < 0:
+            index += self.n_dies
+        if not 0 <= index < self.n_dies:
+            raise IndexError("die index out of range")
+        cached = self._cache[index]
+        if cached is None:
+            rng = np.random.default_rng([self.seed, index])
+            vmap = generate_variation_map(
+                self.tech,
+                self.arch.die_edge_mm,
+                self.arch.grid_resolution,
+                rng,
+                self._method,
+            )
+            cached = Die(die_id=index, variation=vmap)
+            self._cache[index] = cached
+        return cached
+
+    def __iter__(self) -> Iterator[Die]:
+        for i in range(self.n_dies):
+            yield self[i]

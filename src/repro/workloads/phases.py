@@ -1,0 +1,97 @@
+"""Synthetic phase behaviour for applications.
+
+SPEC applications exhibit phases: sections with different IPC and
+dynamic power. The paper exploits this ("speeding up high-IPC sections
+and slowing down low-IPC sections", Section 7.5) and its Figure 14
+depends on power drifting between LinOpt invocations. We model phases
+as a piecewise-constant random process: phase durations are exponential
+with a configurable mean, and each phase scales the application's IPC
+and dynamic power by log-normal multipliers (correlated — high-activity
+phases burn more power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .applications import AppProfile
+
+# Correlation between the IPC multiplier and the power multiplier.
+PHASE_CORRELATION = 0.7
+
+
+@dataclass(frozen=True)
+class PhaseState:
+    """Multipliers applied to an application's reference profile."""
+
+    ipc_multiplier: float
+    power_multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.ipc_multiplier <= 0 or self.power_multiplier <= 0:
+            raise ValueError("phase multipliers must be positive")
+
+
+class PhasedApplication:
+    """An application with time-varying phase multipliers.
+
+    The phase process is seeded per (application, seed), so replaying a
+    simulation reproduces the identical phase trace.
+    """
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        seed: int = 0,
+        mean_phase_s: float = 0.050,
+        sigma: float = 0.35,
+    ) -> None:
+        if mean_phase_s <= 0:
+            raise ValueError("mean phase duration must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.profile = profile
+        self.mean_phase_s = mean_phase_s
+        self.sigma = sigma
+        self._rng = np.random.default_rng(
+            [seed, hash(profile.name) & 0x7FFFFFFF])
+        self._phase_end = 0.0
+        self._state = PhaseState(1.0, 1.0)
+
+    def _draw_phase(self) -> PhaseState:
+        z1 = self._rng.standard_normal()
+        z2 = self._rng.standard_normal()
+        rho = PHASE_CORRELATION
+        ipc_z = z1
+        pow_z = rho * z1 + np.sqrt(1 - rho ** 2) * z2
+        # Log-normal multipliers centred on 1 (mean-corrected).
+        correction = np.exp(-0.5 * self.sigma ** 2)
+        return PhaseState(
+            ipc_multiplier=float(np.exp(self.sigma * ipc_z) * correction),
+            power_multiplier=float(np.exp(self.sigma * pow_z) * correction),
+        )
+
+    def state_at(self, time_s: float) -> PhaseState:
+        """Phase multipliers at simulation time ``time_s``.
+
+        Must be called with non-decreasing times (the process is
+        generated forward).
+        """
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        while time_s >= self._phase_end:
+            duration = self._rng.exponential(self.mean_phase_s)
+            self._phase_end += max(duration, 1e-6)
+            self._state = self._draw_phase()
+        return self._state
+
+    def ipc_at(self, freq_hz: float, time_s: float) -> float:
+        """Phase-adjusted IPC at a frequency and simulation time."""
+        return self.profile.ipc_at(freq_hz) * self.state_at(time_s).ipc_multiplier
+
+    def ceff_at(self, time_s: float) -> float:
+        """Phase-adjusted effective capacitance at a simulation time."""
+        return self.profile.ceff * self.state_at(time_s).power_multiplier

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonexistent"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table5_runs(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "completed in" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_fig4_with_dies_flag(self, capsys):
+        assert main(["fig4", "--dies", "2"]) == 0
+        assert "Figure 4(a)" in capsys.readouterr().out
+
+    def test_fig7_with_trials_flag(self, capsys):
+        assert main(["fig7", "--trials", "2"]) == 0
+        assert "Figure 7(a)" in capsys.readouterr().out
+
+    def test_fig11_static_no_sann(self, capsys):
+        assert main(["fig11", "--trials", "1", "--static",
+                     "--no-sann"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11(a)" in out
+        assert "SAnn" not in out
+
+
+class TestCliCharts:
+    def test_fig4_chart(self, capsys):
+        assert main(["fig4", "--dies", "2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "histogram" in out
+        assert "█" in out
+
+    def test_fig5_chart(self, capsys):
+        assert main(["fig5", "--dies", "2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "ratios vs Vth" in out
+
+    def test_chartless_experiment_is_fine(self, capsys):
+        assert main(["table5", "--chart"]) == 0
+        assert "Table 5" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for repro.experiments.common and the shared runners."""
+
+import numpy as np
+import pytest
+
+from repro.config import COST_PERFORMANCE, DEFAULT_TECH
+from repro.experiments.common import (
+    ChipFactory,
+    format_rows,
+    full_run,
+    histogram,
+)
+from repro.experiments.pm_runner import (
+    run_pm_comparison,
+    standard_algorithms,
+)
+from repro.experiments.sched_runner import run_policy_comparison
+from repro.runtime.evaluation import evaluate_max_levels
+from repro.sched import RandomPolicy, VarP
+
+
+class TestChipFactory:
+    def test_chip_is_cached(self):
+        factory = ChipFactory(seed=5)
+        assert factory.chip(0) is factory.chip(0)
+
+    def test_chips_prefix(self):
+        factory = ChipFactory(seed=5)
+        chips = factory.chips(2)
+        assert len(chips) == 2
+        assert chips[0].die_id == 0
+        assert chips[1].die_id == 1
+
+    def test_same_seed_same_chips(self):
+        a = ChipFactory(seed=7).chip(0)
+        b = ChipFactory(seed=7).chip(0)
+        np.testing.assert_array_equal(a.fmax_array, b.fmax_array)
+
+    def test_different_seed_differs(self):
+        a = ChipFactory(seed=7).chip(0)
+        b = ChipFactory(seed=8).chip(0)
+        assert not np.array_equal(a.fmax_array, b.fmax_array)
+
+    def test_batch_grows_without_invalidating(self):
+        factory = ChipFactory(seed=9)
+        first = factory.chip(0)
+        factory.chips(3)
+        assert factory.chip(0) is first
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        table = format_rows(["a", "long-header"],
+                            [[1, 2.0], [333, 4.5]], "Title")
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "long-header" in lines[1]
+        assert "333" in lines[4]
+
+    def test_format_rows_empty(self):
+        table = format_rows(["x"], [])
+        assert "x" in table
+
+    def test_histogram(self):
+        counts, edges = histogram(np.array([1.0, 1.1, 1.2, 1.9]),
+                                  n_bins=3)
+        assert counts.sum() == 4
+        assert edges.size == 4
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([]))
+
+    def test_full_run_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_run()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_run()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_run()
+
+
+class TestSchedRunner:
+    def test_baseline_normalised_to_one(self):
+        factory = ChipFactory(seed=0)
+
+        def evaluate(chip, workload, assignment):
+            return evaluate_max_levels(chip, workload, assignment)
+
+        result = run_policy_comparison(
+            factory, (RandomPolicy(), VarP()), evaluate,
+            n_threads=4, n_trials=2, n_dies=1)
+        base = result["Random"]
+        assert base.power == pytest.approx(1.0)
+        assert base.mips == pytest.approx(1.0)
+        assert base.ed2 == pytest.approx(1.0)
+
+    def test_missing_baseline_rejected(self):
+        factory = ChipFactory(seed=0)
+        with pytest.raises(ValueError):
+            run_policy_comparison(
+                factory, (VarP(),), evaluate_max_levels,
+                n_threads=4, n_trials=1, n_dies=1)
+
+
+class TestPmRunner:
+    def test_standard_algorithms(self):
+        algos = standard_algorithms(include_sann=True)
+        names = [a.name for a in algos]
+        assert names == ["Random+Foxton*", "VarF&AppIPC+Foxton*",
+                         "VarF&AppIPC+LinOpt", "VarF&AppIPC+SAnn"]
+        assert len(standard_algorithms(include_sann=False)) == 3
+
+    def test_static_protocol_baseline_one(self):
+        factory = ChipFactory(seed=0)
+        result = run_pm_comparison(
+            factory, COST_PERFORMANCE, n_threads=4, n_trials=1,
+            n_dies=1, protocol="static",
+            algorithms=standard_algorithms(include_sann=False,
+                                           online=False))
+        assert result["Random+Foxton*"].mips == pytest.approx(1.0)
+        assert result["VarF&AppIPC+LinOpt"].mips > 0.9
+
+    def test_bad_protocol_rejected(self):
+        factory = ChipFactory(seed=0)
+        with pytest.raises(ValueError):
+            run_pm_comparison(factory, COST_PERFORMANCE, 4, 1, 1,
+                              protocol="banana")

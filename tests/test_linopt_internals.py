@@ -1,0 +1,121 @@
+"""White-box tests for LinOpt's building blocks (Section 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import COST_PERFORMANCE, LOW_POWER
+from repro.pm import LinOpt, LinOptConfig, fit_power_lines
+from repro.power import PowerSensor
+from repro.runtime import Assignment, evaluate_max_levels
+from repro.sched import VarFAppIPC
+from repro.workloads import Workload, get_app, make_workload
+
+
+@pytest.fixture()
+def pair(chip):
+    wl = Workload((get_app("bzip2"), get_app("mcf")))
+    asg = Assignment((2, 9))
+    return wl, asg
+
+
+class TestFitPowerLines:
+    def test_global_fit_slope_positive(self, chip, pair):
+        wl, asg = pair
+        temps = np.full(chip.n_cores, 350.0)
+        fit = fit_power_lines(chip, wl, asg, temps, 3, PowerSensor())
+        assert np.all(fit.slope > 0)
+
+    def test_fit_matches_endpoints_reasonably(self, chip, pair):
+        """Figure 1: the line approximates the measured points."""
+        wl, asg = pair
+        temps = np.full(chip.n_cores, 350.0)
+        fit = fit_power_lines(chip, wl, asg, temps, 3, PowerSensor())
+        core = chip.cores[asg.core_of[0]]
+        table = core.vf_table
+        for v, lv in ((table.vmin, 0), (table.vmax, table.n_levels - 1)):
+            true_p = (wl[0].dynamic_power_at(
+                float(table.voltages[lv]), float(table.freqs[lv]))
+                + core.leakage.power(float(table.voltages[lv]), 350.0))
+            line_p = fit.slope[0] * v + fit.intercept[0]
+            assert line_p == pytest.approx(true_p, rel=0.35)
+
+    def test_two_vs_three_point_similar(self, chip, pair):
+        wl, asg = pair
+        temps = np.full(chip.n_cores, 350.0)
+        f3 = fit_power_lines(chip, wl, asg, temps, 3, PowerSensor())
+        f2 = fit_power_lines(chip, wl, asg, temps, 2, PowerSensor())
+        np.testing.assert_allclose(f3.slope, f2.slope, rtol=0.35)
+
+    def test_local_window_fit(self, chip, pair):
+        wl, asg = pair
+        temps = np.full(chip.n_cores, 350.0)
+        fit = fit_power_lines(chip, wl, asg, temps, 3, PowerSensor(),
+                              center_levels=[4, 4], span_levels=2)
+        assert np.all(fit.slope > 0)
+
+    def test_local_window_at_boundaries(self, chip, pair):
+        wl, asg = pair
+        temps = np.full(chip.n_cores, 350.0)
+        for centre in (0, 8):
+            fit = fit_power_lines(chip, wl, asg, temps, 3, PowerSensor(),
+                                  center_levels=[centre, centre],
+                                  span_levels=2)
+            assert np.all(np.isfinite(fit.slope))
+
+    def test_hotter_cores_fit_higher_lines(self, chip, pair):
+        wl, asg = pair
+        cold = fit_power_lines(chip, wl, asg,
+                               np.full(chip.n_cores, 330.0), 3,
+                               PowerSensor())
+        hot = fit_power_lines(chip, wl, asg,
+                              np.full(chip.n_cores, 380.0), 3,
+                              PowerSensor())
+        # Leakage grows with temperature: the fitted line at Vmax must
+        # sit higher when profiling hot.
+        v = chip.cores[asg.core_of[0]].vf_table.vmax
+        assert (hot.slope[0] * v + hot.intercept[0]
+                > cold.slope[0] * v + cold.intercept[0])
+
+
+class TestLinOptBehaviour:
+    def test_slow_memory_threads_get_lower_voltage(self, chip, rng):
+        """LinOpt's core idea: memory-bound low-IPC threads give up
+        voltage so compute-bound threads can keep it."""
+        wl = Workload((get_app("vortex"), get_app("crafty"),
+                       get_app("mcf"), get_app("apsi")))
+        asg = VarFAppIPC().assign_with_profiling(chip, wl, rng)
+        res = LinOpt().set_levels(chip, wl, asg, LOW_POWER)
+        levels = dict(zip((a.name for a in wl), res.levels))
+        assert (levels["mcf"] + levels["apsi"]
+                <= levels["vortex"] + levels["crafty"])
+
+    def test_power_close_to_target(self, chip, rng):
+        """Section 4.3.1: the solutions satisfy the power constraint
+        'with little slack'."""
+        wl = make_workload(16, rng)
+        asg = VarFAppIPC().assign_with_profiling(chip, wl, rng)
+        res = LinOpt().set_levels(chip, wl, asg, LOW_POWER)
+        p_target = LOW_POWER.p_target(16, chip.n_cores)
+        assert res.state.total_power <= p_target + 1e-6
+        assert res.state.total_power >= 0.93 * p_target
+
+    def test_iteration_count_respected(self, chip, pair):
+        wl, asg = pair
+        res1 = LinOpt(LinOptConfig(n_iterations=1)).set_levels(
+            chip, wl, asg, COST_PERFORMANCE)
+        res3 = LinOpt(LinOptConfig(n_iterations=3)).set_levels(
+            chip, wl, asg, COST_PERFORMANCE)
+        # More passes solve more LPs.
+        assert res3.stats["lp_pivots"] > res1.stats["lp_pivots"]
+
+    def test_phase_multipliers_shift_allocation(self, chip, rng):
+        """Online adaptivity: boosting one thread's phase IPC should
+        never *lower* its allocated level."""
+        wl = Workload((get_app("gzip"), get_app("gzip"),
+                       get_app("gzip"), get_app("gzip")))
+        asg = Assignment((0, 1, 2, 3))
+        base = LinOpt().set_levels(chip, wl, asg, LOW_POWER)
+        boosted = LinOpt().set_levels(
+            chip, wl, asg, LOW_POWER,
+            ipc_multipliers=[3.0, 1.0, 1.0, 1.0])
+        assert boosted.levels[0] >= base.levels[0]

@@ -1,0 +1,117 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_TECH, T_REF_K
+from repro.power import leakage_factor
+from repro.runtime import Assignment, evaluate_levels
+from repro.workloads import SPEC_APPS, Workload, get_app
+
+
+class TestLeakageProperties:
+    @given(st.floats(min_value=0.6, max_value=1.0),
+           st.floats(min_value=0.6, max_value=1.0))
+    @settings(max_examples=30)
+    def test_monotone_in_voltage(self, v1, v2):
+        if v1 > v2:
+            v1, v2 = v2, v1
+        lo = float(leakage_factor(v1, 0.25, T_REF_K, DEFAULT_TECH))
+        hi = float(leakage_factor(v2, 0.25, T_REF_K, DEFAULT_TECH))
+        assert hi >= lo
+
+    @given(st.floats(min_value=300.0, max_value=400.0),
+           st.floats(min_value=300.0, max_value=400.0))
+    @settings(max_examples=30)
+    def test_monotone_in_temperature(self, t1, t2):
+        if t1 > t2:
+            t1, t2 = t2, t1
+        lo = float(leakage_factor(1.0, 0.25, t1, DEFAULT_TECH))
+        hi = float(leakage_factor(1.0, 0.25, t2, DEFAULT_TECH))
+        assert hi >= lo
+
+    @given(st.floats(min_value=0.15, max_value=0.35),
+           st.floats(min_value=0.15, max_value=0.35))
+    @settings(max_examples=30)
+    def test_antitone_in_vth(self, a, b):
+        if a > b:
+            a, b = b, a
+        low_vth = float(leakage_factor(1.0, a, T_REF_K, DEFAULT_TECH))
+        high_vth = float(leakage_factor(1.0, b, T_REF_K, DEFAULT_TECH))
+        assert low_vth >= high_vth
+
+
+class TestEvaluationProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_lowering_any_level_lowers_power(self, chip, seed):
+        """Dropping one thread's DVFS level never raises chip power."""
+        rng = np.random.default_rng(seed)
+        apps = [SPEC_APPS[int(i)] for i in rng.integers(0, 14, size=4)]
+        wl = Workload(tuple(apps))
+        cores = tuple(int(c) for c in
+                      rng.choice(chip.n_cores, size=4, replace=False))
+        asg = Assignment(cores)
+        levels = [int(l) for l in rng.integers(1, 9, size=4)]
+        base = evaluate_levels(chip, wl, asg, levels)
+        victim = int(rng.integers(4))
+        lowered = list(levels)
+        lowered[victim] -= 1
+        dropped = evaluate_levels(chip, wl, asg, lowered)
+        assert dropped.total_power <= base.total_power + 1e-6
+        assert (dropped.throughput_mips
+                <= base.throughput_mips + 1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_assignment_permutation_conserves_nothing_exotic(
+            self, chip, seed):
+        """Swapping two threads between their cores preserves the set
+        of active cores, so L2 power and temperatures stay in range."""
+        rng = np.random.default_rng(seed)
+        wl = Workload((get_app("bzip2"), get_app("mcf")))
+        cores = tuple(int(c) for c in
+                      rng.choice(chip.n_cores, size=2, replace=False))
+        a = evaluate_levels(chip, wl, Assignment(cores), [8, 8])
+        b = evaluate_levels(chip, wl,
+                            Assignment((cores[1], cores[0])), [8, 8])
+        # Same apps, same cores, same levels: totals are close (they
+        # differ only through which app heats which core).
+        assert a.total_power == pytest.approx(b.total_power, rel=0.1)
+
+
+class TestWorkloadProperties:
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_workload_always_well_formed(self, n, seed):
+        from repro.workloads import make_workload
+        wl = make_workload(n, np.random.default_rng(seed))
+        assert wl.n_threads == n
+        for app in wl:
+            assert app in SPEC_APPS
+
+    @given(st.sampled_from([a.name for a in SPEC_APPS]),
+           st.floats(min_value=1e9, max_value=6e9),
+           st.floats(min_value=1e9, max_value=6e9))
+    @settings(max_examples=40)
+    def test_throughput_monotone_in_frequency(self, name, f1, f2):
+        app = get_app(name)
+        if f1 > f2:
+            f1, f2 = f2, f1
+        assert app.throughput_at(f1) <= app.throughput_at(f2) + 1e-6
+
+
+class TestVFTableProperties:
+    @given(voltage=st.floats(min_value=0.0, max_value=1.5))
+    @settings(max_examples=40)
+    def test_nearest_level_at_most_is_sound(self, chip, voltage):
+        table = chip.cores[0].vf_table
+        level = table.nearest_level_at_most(voltage)
+        assert 0 <= level < table.n_levels
+        if table.voltages[level] > voltage + 1e-9:
+            # Only allowed when nothing at or below the query exists.
+            assert level == 0
+            assert voltage < table.vmin

@@ -1,0 +1,147 @@
+"""Tests for repro.sched (Table 1 scheduling policies) and profiling."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import profile_threads
+from repro.sched import (
+    POLICIES,
+    RandomPolicy,
+    VarF,
+    VarFAppIPC,
+    VarP,
+    VarPAppP,
+    VarTemp,
+)
+from repro.workloads import Workload, get_app, make_workload
+
+
+@pytest.fixture()
+def workload8(rng):
+    return make_workload(8, rng)
+
+
+class TestRegistry:
+    def test_contains_table1_policies(self):
+        for name in ("Random", "VarP", "VarP&AppP", "VarF", "VarF&AppIPC"):
+            assert name in POLICIES
+
+    def test_names_match(self):
+        for name, policy in POLICIES.items():
+            assert policy.name == name
+
+
+class TestRandomPolicy:
+    def test_distinct_cores(self, chip, workload8, rng):
+        asg = RandomPolicy().assign(chip, workload8, rng)
+        assert len(set(asg.core_of)) == 8
+
+    def test_different_seeds_differ(self, chip, workload8):
+        a = RandomPolicy().assign(chip, workload8,
+                                  np.random.default_rng(1))
+        b = RandomPolicy().assign(chip, workload8,
+                                  np.random.default_rng(2))
+        assert a.core_of != b.core_of
+
+    def test_rejects_oversubscription(self, chip, rng):
+        wl = make_workload(21, rng)
+        with pytest.raises(ValueError):
+            RandomPolicy().assign(chip, wl, rng)
+
+
+class TestVarP:
+    def test_selects_lowest_static_cores(self, chip, workload8, rng):
+        asg = VarP().assign(chip, workload8, rng)
+        expected = set(np.argsort(chip.static_rated_array)[:8])
+        assert set(asg.core_of) == expected
+
+    def test_full_occupancy_uses_all_cores(self, chip, rng):
+        wl = make_workload(20, rng)
+        asg = VarP().assign(chip, wl, rng)
+        assert set(asg.core_of) == set(range(20))
+
+
+class TestVarPAppP:
+    def test_power_hungry_threads_on_cool_cores(self, chip, rng):
+        wl = Workload((get_app("vortex"), get_app("mcf")))  # 4.4 vs 1.5 W
+        asg = VarPAppP().assign_with_profiling(chip, wl, rng)
+        ranked = np.argsort(chip.static_rated_array)
+        # vortex (thread 0, highest power) on the lowest-static core.
+        assert asg.core_of[0] == ranked[0]
+        assert asg.core_of[1] == ranked[1]
+
+    def test_requires_profile(self, chip, workload8, rng):
+        with pytest.raises(ValueError):
+            VarPAppP().assign(chip, workload8, rng, profile=None)
+
+
+class TestVarF:
+    def test_selects_fastest_cores(self, chip, workload8, rng):
+        asg = VarF().assign(chip, workload8, rng)
+        expected = set(np.argsort(chip.fmax_array)[::-1][:8])
+        assert set(asg.core_of) == expected
+
+    def test_same_core_pool_as_varfappipc(self, chip, workload8, rng):
+        a = VarF().assign(chip, workload8, np.random.default_rng(0))
+        b = VarFAppIPC().assign_with_profiling(
+            chip, workload8, np.random.default_rng(0))
+        assert set(a.core_of) == set(b.core_of)
+
+
+class TestVarFAppIPC:
+    def test_high_ipc_on_fast_core(self, chip, rng):
+        wl = Workload((get_app("mcf"), get_app("vortex")))  # IPC .1 vs 1.2
+        asg = VarFAppIPC().assign_with_profiling(chip, wl, rng)
+        ranked = np.argsort(chip.fmax_array)[::-1]
+        assert asg.core_of[1] == ranked[0]  # vortex gets the fast core
+        assert asg.core_of[0] == ranked[1]
+
+    def test_requires_profile(self, chip, workload8, rng):
+        with pytest.raises(ValueError):
+            VarFAppIPC().assign(chip, workload8, rng, profile=None)
+
+
+class TestVarTemp:
+    def test_distinct_cores(self, chip, workload8, rng):
+        asg = VarTemp().assign(chip, workload8, rng)
+        assert len(set(asg.core_of)) == 8
+
+    def test_zero_exposure_reduces_to_varp_pool(self, chip, workload8,
+                                                rng):
+        asg = VarTemp(exposure_weight=0.0).assign(chip, workload8, rng)
+        expected = set(np.argsort(chip.static_rated_array)[:8])
+        assert set(asg.core_of) == expected
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            VarTemp(exposure_weight=-1.0)
+
+
+class TestProfiling:
+    def test_shapes(self, chip, workload8, rng):
+        prof = profile_threads(chip, workload8, rng)
+        assert prof.ceff_estimate.shape == (8,)
+        assert prof.ipc_estimate.shape == (8,)
+        assert len(prof.profiling_core) == 8
+
+    def test_rankings_match_truth_without_noise(self, chip, rng):
+        wl = Workload((get_app("vortex"), get_app("mcf"),
+                       get_app("bzip2"), get_app("apsi")))
+        prof = profile_threads(chip, wl, rng)
+        true_ceff = np.array([a.ceff for a in wl])
+        # Ranking (not absolute values) is what the policies consume.
+        assert (np.argsort(prof.ceff_estimate).tolist()
+                == np.argsort(true_ceff).tolist())
+
+    def test_ipc_estimates_close_to_reference(self, chip, rng):
+        wl = Workload((get_app("crafty"), get_app("mcf")))
+        prof = profile_threads(chip, wl, rng)
+        # Profiled at the core's fmax (< 4 GHz), so memory-bound mcf
+        # reads slightly above its Table 5 IPC; ordering must hold.
+        assert prof.ipc_estimate[0] > prof.ipc_estimate[1]
+        assert prof.ipc_estimate[0] == pytest.approx(1.1, rel=0.15)
+
+    def test_profiling_core_randomised(self, chip, workload8):
+        a = profile_threads(chip, workload8, np.random.default_rng(1))
+        b = profile_threads(chip, workload8, np.random.default_rng(2))
+        assert a.profiling_core != b.profiling_core

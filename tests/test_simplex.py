@@ -1,0 +1,159 @@
+"""Tests for the from-scratch Simplex LP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.linprog import (
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_UNBOUNDED,
+    solve_lp_maximize,
+)
+
+
+class TestKnownProblems:
+    def test_textbook_2d(self):
+        # max 3x + 2y s.t. x + y <= 4, x + 3y <= 6
+        res = solve_lp_maximize(
+            c=np.array([3.0, 2.0]),
+            a_ub=np.array([[1.0, 1.0], [1.0, 3.0]]),
+            b_ub=np.array([4.0, 6.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(12.0)
+        np.testing.assert_allclose(res.x, [4.0, 0.0], atol=1e-9)
+
+    def test_interior_budget_split(self):
+        # max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x = y = 4/3
+        res = solve_lp_maximize(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[2.0, 1.0], [1.0, 2.0]]),
+            b_ub=np.array([4.0, 4.0]))
+        assert res.objective == pytest.approx(8.0 / 3.0)
+
+    def test_upper_bounds(self):
+        res = solve_lp_maximize(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([10.0]),
+            upper=np.array([2.0, 3.0]))
+        assert res.objective == pytest.approx(5.0)
+
+    def test_unbounded(self):
+        res = solve_lp_maximize(
+            c=np.array([1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([0.0]))
+        assert res.status == STATUS_UNBOUNDED
+
+    def test_infeasible(self):
+        # x >= 2 (as -x <= -2) and x <= 1
+        res = solve_lp_maximize(
+            c=np.array([1.0]),
+            a_ub=np.array([[-1.0], [1.0]]),
+            b_ub=np.array([-2.0, 1.0]))
+        assert res.status == STATUS_INFEASIBLE
+
+    def test_negative_rhs_phase1(self):
+        # Requires phase 1: x + y >= 2 written as -x - y <= -2.
+        res = solve_lp_maximize(
+            c=np.array([-1.0, -2.0]),
+            a_ub=np.array([[-1.0, -1.0]]),
+            b_ub=np.array([-2.0]),
+            upper=np.array([5.0, 5.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-2.0)  # x=2, y=0
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degeneracy: many constraints active at the optimum.
+        res = solve_lp_maximize(
+            c=np.array([1.0, 1.0, 1.0]),
+            a_ub=np.vstack([np.eye(3), np.ones((1, 3)),
+                            np.ones((1, 3))]),
+            b_ub=np.array([1.0, 1.0, 1.0, 2.0, 2.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.0)
+
+    def test_zero_objective(self):
+        res = solve_lp_maximize(
+            c=np.zeros(2),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_lp_maximize(np.array([1.0]),
+                              np.array([[1.0, 2.0]]),
+                              np.array([1.0]))
+
+    def test_flop_accounting(self):
+        res = solve_lp_maximize(
+            c=np.array([3.0, 2.0]),
+            a_ub=np.array([[1.0, 1.0], [1.0, 3.0]]),
+            b_ub=np.array([4.0, 6.0]))
+        assert res.flops > 0
+        assert res.iterations > 0
+
+    def test_linopt_shaped_problem(self):
+        """The exact LP structure LinOpt emits: budget row + per-core
+        rows + box bounds."""
+        rng = np.random.default_rng(0)
+        n = 20
+        a = rng.uniform(5.0, 20.0, n)      # objective (ipc * f-slope)
+        b = rng.uniform(2.0, 8.0, n)       # power slopes
+        budget = 0.6 * b.sum() * 0.4       # forces a real trade-off
+        rows = [b]
+        rhs = [budget]
+        for i in range(n):
+            row = np.zeros(n)
+            row[i] = b[i]
+            rows.append(row)
+            rhs.append(0.35 * b[i])
+        res = solve_lp_maximize(a, np.vstack(rows), np.array(rhs),
+                                upper=np.full(n, 0.4))
+        ref = linprog(-a, A_ub=np.vstack(rows), b_ub=np.array(rhs),
+                      bounds=[(0, 0.4)] * n, method="highs")
+        assert res.is_optimal and ref.status == 0
+        assert res.objective == pytest.approx(-ref.fun, rel=1e-8)
+
+
+class TestFuzzAgainstScipy:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_instances_match_highs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        m = int(rng.integers(1, 12))
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.normal(loc=1.0, size=m)
+        ub = rng.uniform(0.5, 3.0, size=n)
+        res = solve_lp_maximize(c, a, b, upper=ub)
+        ref = linprog(-c, A_ub=a, b_ub=b, bounds=[(0, u) for u in ub],
+                      method="highs")
+        if ref.status == 0:
+            assert res.is_optimal
+            assert res.objective == pytest.approx(
+                -ref.fun, rel=1e-6, abs=1e-8)
+        elif ref.status == 2:
+            assert res.status == STATUS_INFEASIBLE
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_solution_is_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        m = int(rng.integers(1, 8))
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.uniform(0.5, 3.0, size=m)
+        ub = rng.uniform(0.5, 3.0, size=n)
+        res = solve_lp_maximize(c, a, b, upper=ub)
+        if res.is_optimal:
+            assert np.all(res.x >= -1e-8)
+            assert np.all(res.x <= ub + 1e-8)
+            assert np.all(a @ res.x <= b + 1e-7)

@@ -1,0 +1,147 @@
+"""Tests for the online time-stepped simulation (Figure 2 / 14)."""
+
+import numpy as np
+import pytest
+
+from repro.config import COST_PERFORMANCE
+from repro.pm import FoxtonStar, LinOpt, LinOptConfig
+from repro.runtime import OnlineSimulation
+from repro.runtime.simulation import SENSOR_PERIOD_S
+from repro.sched import VarFAppIPC
+from repro.workloads import make_workload
+
+
+@pytest.fixture()
+def sim_setup(chip, rng):
+    workload = make_workload(6, rng)
+    assignment = VarFAppIPC().assign_with_profiling(chip, workload, rng)
+    return workload, assignment
+
+
+class TestOnlineSimulation:
+    def test_trace_shapes(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        trace = sim.run(duration_s=0.02, dvfs_interval_s=0.01)
+        n = int(round(0.02 / SENSOR_PERIOD_S))
+        assert trace.times_s.shape == (n,)
+        assert trace.power_w.shape == (n,)
+        assert trace.throughput_mips.shape == (n,)
+        assert trace.weighted_throughput.shape == (n,)
+
+    def test_manager_invocation_count(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        trace = sim.run(duration_s=0.05, dvfs_interval_s=0.01)
+        assert len(trace.manager_runs) == 5
+
+    def test_power_tracks_target(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        trace = sim.run(duration_s=0.04, dvfs_interval_s=0.01)
+        assert trace.mean_power_w <= trace.p_target_w * 1.15
+        assert trace.mean_abs_deviation_pct < 25.0
+
+    def test_shorter_interval_tracks_better(self, chip, sim_setup):
+        wl, asg = sim_setup
+        def run(interval):
+            sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                                   manager=FoxtonStar(), phase_seed=5)
+            return sim.run(duration_s=0.08,
+                           dvfs_interval_s=interval)
+        fine = run(0.005).mean_abs_deviation_pct
+        coarse = run(0.08).mean_abs_deviation_pct
+        assert fine <= coarse + 0.5
+
+    def test_phase_seed_reproducible(self, chip, sim_setup):
+        wl, asg = sim_setup
+        def run():
+            sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                                   manager=FoxtonStar(), phase_seed=9)
+            return sim.run(duration_s=0.02, dvfs_interval_s=0.01)
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.power_w, b.power_w)
+
+    def test_transition_time_accounted(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=LinOpt(LinOptConfig(n_iterations=2)),
+                               phase_seed=2)
+        trace = sim.run(duration_s=0.04, dvfs_interval_s=0.01)
+        assert trace.transition_time_s >= 0.0
+        # Never more than a tiny fraction of the run.
+        assert trace.transition_time_s < 0.1 * 0.04 * asg.n_threads
+
+    def test_rejects_bad_durations(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        with pytest.raises(ValueError):
+            sim.run(duration_s=0.0, dvfs_interval_s=0.01)
+        with pytest.raises(ValueError):
+            sim.run(duration_s=0.01, dvfs_interval_s=0.0)
+
+    def test_default_manager_is_linopt(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE)
+        from repro.pm import LinOpt as LinOptClass
+        assert isinstance(sim.manager, LinOptClass)
+
+    def test_metrics_consistent(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        trace = sim.run(duration_s=0.02, dvfs_interval_s=0.01)
+        assert trace.mean_throughput_mips == pytest.approx(
+            trace.throughput_mips.mean())
+        assert trace.ed2_relative == pytest.approx(
+            trace.mean_power_w / trace.mean_throughput_mips ** 3)
+
+
+class TestOsRescheduling:
+    def test_policy_and_interval_must_pair(self, chip, sim_setup):
+        wl, asg = sim_setup
+        from repro.sched import RandomPolicy
+        with pytest.raises(ValueError):
+            OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                             manager=FoxtonStar(),
+                             policy=RandomPolicy())
+        with pytest.raises(ValueError):
+            OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                             manager=FoxtonStar(), os_interval_s=0.1)
+
+    def test_random_policy_migrates(self, chip, sim_setup):
+        wl, asg = sim_setup
+        from repro.sched import RandomPolicy
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar(),
+                               policy=RandomPolicy(),
+                               os_interval_s=0.02)
+        trace = sim.run(0.06, 0.01)
+        assert trace.migrations > 0
+        assert trace.mean_power_w <= trace.p_target_w * 1.15
+
+    def test_stable_policy_does_not_migrate(self, chip, sim_setup):
+        wl, asg0 = sim_setup
+        from repro.sched import VarFAppIPC
+        policy = VarFAppIPC()
+        # Start from the policy's own assignment: re-running it keeps
+        # the mapping (deterministic ranking), so no migrations.
+        import numpy as np
+        asg = policy.assign_with_profiling(chip, wl,
+                                           np.random.default_rng(3))
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar(), policy=policy,
+                               os_interval_s=0.02)
+        trace = sim.run(0.05, 0.01)
+        assert trace.migrations == 0
+
+    def test_no_policy_means_no_migrations(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        trace = sim.run(0.02, 0.01)
+        assert trace.migrations == 0
