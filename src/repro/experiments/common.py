@@ -10,6 +10,7 @@ variable) for the paper's full protocol.
 
 from __future__ import annotations
 
+import numbers
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -81,12 +82,26 @@ class ChipFactory:
         return [self.chip(i, n_dies) for i in range(n_dies)]
 
 
+def _format_cell(v: object) -> str:
+    """Format one table cell: reals get 3 decimals, integrals don't.
+
+    Uses the ``numbers`` tower rather than ``isinstance(v, float)`` so
+    numpy scalars (``np.float32``, ``np.float64``, ``np.integer``)
+    format exactly like their builtin counterparts and mixed rows stay
+    aligned.
+    """
+    if isinstance(v, numbers.Integral):  # includes bool, np.integer
+        return str(int(v)) if not isinstance(v, bool) else str(v)
+    if isinstance(v, numbers.Real):
+        return f"{float(v):.3f}"
+    return str(v)
+
+
 def format_rows(header: Sequence[str], rows: Sequence[Sequence[object]],
                 title: str = "") -> str:
     """Plain-text table formatter used by every experiment."""
     cols = len(header)
-    str_rows = [[f"{v:.3f}" if isinstance(v, float) else str(v)
-                 for v in row] for row in rows]
+    str_rows = [[_format_cell(v) for v in row] for row in rows]
     widths = [max(len(header[c]), *(len(r[c]) for r in str_rows))
               if str_rows else len(header[c]) for c in range(cols)]
     lines = []

@@ -62,6 +62,7 @@ def run(
     protocol: str = "online",
     factory: Optional[ChipFactory] = None,
     seed: int = 0,
+    transition_latency_s: Optional[float] = None,
 ) -> Fig11Result:
     """Reproduce Figure 11."""
     n_trials = n_trials or max(default_n_trials() // 2, 3)
@@ -70,9 +71,11 @@ def run(
     from .pm_runner import standard_algorithms
     algorithms = standard_algorithms(include_sann=include_sann,
                                      online=protocol == "online")
+    kwargs = ({} if transition_latency_s is None
+              else {"transition_latency_s": transition_latency_s})
     results = {}
     for nt in thread_counts:
         results[nt] = run_pm_comparison(
             factory, env, nt, n_trials, n_dies,
-            algorithms=algorithms, protocol=protocol, seed=seed)
+            algorithms=algorithms, protocol=protocol, seed=seed, **kwargs)
     return Fig11Result(results=results, env_name=env.name)

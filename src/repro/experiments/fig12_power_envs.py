@@ -43,6 +43,7 @@ def run(
     protocol: str = "online",
     factory: Optional[ChipFactory] = None,
     seed: int = 0,
+    transition_latency_s: Optional[float] = None,
 ) -> Fig12Result:
     """Reproduce Figure 12."""
     n_trials = n_trials or max(default_n_trials() // 2, 3)
@@ -50,9 +51,11 @@ def run(
     factory = factory or ChipFactory()
     algorithms = standard_algorithms(include_sann=include_sann,
                                      online=protocol == "online")
+    kwargs = ({} if transition_latency_s is None
+              else {"transition_latency_s": transition_latency_s})
     results = {}
     for env in environments:
         results[env.name] = run_pm_comparison(
             factory, env, n_threads, n_trials, n_dies,
-            algorithms=algorithms, protocol=protocol, seed=seed)
+            algorithms=algorithms, protocol=protocol, seed=seed, **kwargs)
     return Fig12Result(results=results)

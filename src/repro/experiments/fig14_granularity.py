@@ -18,7 +18,10 @@ import numpy as np
 
 from ..config import COST_PERFORMANCE, PowerEnvironment
 from ..pm import LinOpt, LinOptConfig
-from ..runtime.simulation import OnlineSimulation
+from ..runtime.simulation import (
+    TRANSITION_LATENCY_PER_LEVEL_S,
+    OnlineSimulation,
+)
 from ..sched import VarFAppIPC
 from ..workloads import make_workload
 from .common import ChipFactory, format_rows
@@ -60,6 +63,7 @@ def run(
     n_trials: int = 2,
     factory: Optional[ChipFactory] = None,
     seed: int = 0,
+    transition_latency_s: float = TRANSITION_LATENCY_PER_LEVEL_S,
 ) -> Fig14Result:
     """Reproduce Figure 14."""
     factory = factory or ChipFactory()
@@ -79,7 +83,8 @@ def run(
                 sim = OnlineSimulation(
                     chip, workload, assignment, env,
                     manager=LinOpt(LinOptConfig(n_iterations=3)),
-                    phase_seed=seed * 100 + trial)
+                    phase_seed=seed * 100 + trial,
+                    transition_latency_s=transition_latency_s)
                 trace = sim.run(duration, interval)
                 devs.append(trace.mean_abs_deviation_pct)
             per_interval.append(float(np.mean(devs)))

@@ -23,7 +23,10 @@ import numpy as np
 from ..config import PowerEnvironment
 from ..pm import FoxtonStar, LinOpt, LinOptConfig, PowerManager, SAnnManager
 from ..runtime.evaluation import Assignment
-from ..runtime.simulation import OnlineSimulation
+from ..runtime.simulation import (
+    TRANSITION_LATENCY_PER_LEVEL_S,
+    OnlineSimulation,
+)
 from ..sched import RandomPolicy, SchedulingPolicy, VarFAppIPC
 from ..workloads import Workload, make_workload
 from .common import ChipFactory
@@ -98,8 +101,13 @@ def run_pm_comparison(
     interval_s: float = DEFAULT_INTERVAL_S,
     baseline: str = "Random+Foxton*",
     seed: int = 0,
+    transition_latency_s: float = TRANSITION_LATENCY_PER_LEVEL_S,
 ) -> Dict[str, PmAverages]:
     """Compare the power-budget algorithms at one (env, thread count).
+
+    ``transition_latency_s`` is the per-level V/f switching cost
+    charged by the online protocol (zero disables the accounting, for
+    ablations).
 
     Returns a mapping algorithm name -> baseline-normalised averages.
     """
@@ -122,9 +130,10 @@ def run_pm_comparison(
                 chip, workload, rng)
             manager = algo.make_manager()
             if protocol == "online":
-                sim = OnlineSimulation(chip, workload, assignment, env,
-                                       manager=manager,
-                                       phase_seed=seed * 100 + trial)
+                sim = OnlineSimulation(
+                    chip, workload, assignment, env, manager=manager,
+                    phase_seed=seed * 100 + trial,
+                    transition_latency_s=transition_latency_s)
                 trace = sim.run(duration_s, interval_s)
                 metrics[algo.name] = np.array([
                     trace.mean_throughput_mips,

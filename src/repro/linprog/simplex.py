@@ -200,13 +200,27 @@ def solve_lp_maximize(
         if status != STATUS_OPTIMAL or table[-1, -1] < -1e-7:
             return LpResult(STATUS_INFEASIBLE, np.zeros(n), float("nan"),
                             tab.pivots, tab.flops)
-        # Drive any remaining artificial variables out of the basis.
+        # Drive any remaining artificial variables out of the basis. A
+        # row with no usable pivot is a redundant (linearly dependent)
+        # constraint: leaving its artificial basic while zeroing the
+        # artificial columns would break the basis invariant (every
+        # basic column a unit vector) and corrupt phase 2, so such
+        # rows are dropped from the tableau instead.
+        redundant = []
         for i in range(m):
             if basis[i] >= n + n_slack:
                 row_coeffs = np.abs(table[i, :n + n_slack])
                 j = int(np.argmax(row_coeffs))
                 if row_coeffs[j] > EPS:
                     tab.pivot(i, j)
+                else:
+                    redundant.append(i)
+        if redundant:
+            table = np.delete(table, redundant, axis=0)
+            basis = np.delete(basis, redundant)
+            m -= len(redundant)
+            tab.table = table
+            tab.basis = basis
         table[:, n + n_slack:total] = 0.0
 
     # Phase 2: true objective. Row = -c expressed in current basis.

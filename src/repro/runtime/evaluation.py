@@ -10,7 +10,7 @@ includes core dynamic + leakage, and the shared L2's dynamic + leakage
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +19,27 @@ from ..chip import ChipProfile
 from ..power.scaling import L2_DYNAMIC_FRACTION
 from ..thermal import solve_with_leakage
 from ..workloads import REF_FREQ_HZ, Workload
+
+
+class EvaluationCounter:
+    """Counts full-system evaluations (thermal fixed-point solves).
+
+    The online simulation's perf benchmark uses this to assert that the
+    event-driven loop performs far fewer :func:`evaluate_levels` calls
+    than the per-millisecond reference loop.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+#: Process-global counter, incremented by every evaluate_levels call.
+EVALUATION_COUNTER = EvaluationCounter()
 
 
 @dataclass(frozen=True)
@@ -113,6 +134,22 @@ class SystemState:
         if tp <= 0:
             return float("inf")
         return self.total_power / tp ** 3
+
+    def scaled(self, work_fractions: Sequence[float]) -> "SystemState":
+        """This state with per-thread useful work scaled down.
+
+        Models stalls that burn power without committing instructions
+        (V/f transitions, thread migrations): the returned state keeps
+        every power and thermal quantity but scales each thread's
+        committed IPC by ``work_fractions[i]`` in [0, 1], so all
+        throughput-derived metrics reflect the lost work.
+        """
+        frac = np.asarray(work_fractions, dtype=float)
+        if frac.shape != self.ipcs.shape:
+            raise ValueError("need one work fraction per thread")
+        if np.any(frac < 0) or np.any(frac > 1):
+            raise ValueError("work fractions must lie in [0, 1]")
+        return replace(self, ipcs=self.ipcs * frac)
 
 
 def evaluate_explicit(
@@ -213,6 +250,7 @@ def evaluate_levels(
     ceff_multipliers: Optional[Sequence[float]] = None,
 ) -> SystemState:
     """Evaluate with per-thread DVFS levels into each core's V/f table."""
+    EVALUATION_COUNTER.count += 1
     n = assignment.n_threads
     levels = list(levels)
     if len(levels) != n:

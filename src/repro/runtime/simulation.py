@@ -1,4 +1,4 @@
-"""Online time-stepped system simulation (Figure 2 timeline).
+"""Online event-driven system simulation (Figure 2 timeline).
 
 Simulates the CMP running a phased workload under an online power
 manager: sensors sample every millisecond, the power manager re-runs at
@@ -8,15 +8,31 @@ applications drift through phases, so consumed power deviates from
 ``Ptarget`` — the effect Figure 14 quantifies as a function of the
 DVFS interval.
 
+The steady-state system evaluation is memoryless: between two
+consecutive *events* — a phase boundary of any application, a
+power-manager invocation, or an OS reschedule — the operating point is
+constant, so the leakage-temperature fixed point needs to be solved
+only once per event rather than once per sensor sample. The simulation
+therefore builds each application's phase-boundary timeline up front,
+advances event to event with a single cached
+:class:`~repro.runtime.evaluation.SystemState`, and fills the 1 ms
+sensor samples in between from that cached state. A per-millisecond
+reference loop (``mode="dense"``) is kept for validation and
+benchmarking; both modes produce bitwise-identical traces.
+
 DVFS transitions are modelled with a per-level switching latency
 (XScale-class, conservative per Section 5.1): during a transition the
-core contributes no useful work, and the lost time is accounted in the
-throughput integral.
+core contributes no useful work, and the lost time is charged against
+the throughput trace — the sensor sample covering a manager invocation
+that stepped a core by ``k`` levels sees that core's committed work
+scaled by ``1 - k * latency / sample period``. Thread migrations pay
+the same per-level accounting (a conservative proxy for cache-warmup
+cost), with a minimum of one level per migrated thread.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +51,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
 SENSOR_PERIOD_S = 1e-3
 # Voltage/frequency transition latency per level stepped (s).
 TRANSITION_LATENCY_PER_LEVEL_S = 20e-6
+# Timer comparison slack (matches the sensor-grid quantisation).
+_TIME_EPS = 1e-12
 
 
 @dataclass
@@ -45,9 +63,16 @@ class SimulationTrace:
         times_s: Sample timestamps.
         power_w: Total chip power at each sample.
         p_target_w: The power budget in force.
-        throughput_mips: Aggregate throughput at each sample.
+        throughput_mips: Aggregate throughput at each sample (net of
+            work lost to V/f transitions and migrations).
         manager_runs: Timestamps of power-manager invocations.
-        transition_time_s: Total core-time lost to DVFS transitions.
+        transition_time_s: Total core-time lost to DVFS transitions
+            and migrations.
+        migrations: Number of thread migrations performed.
+        level_transitions: Total DVFS levels stepped across the run
+            (including the per-migration minimum); equals
+            ``transition_time_s / transition_latency_s`` when the
+            latency is non-zero.
     """
 
     times_s: np.ndarray
@@ -58,6 +83,7 @@ class SimulationTrace:
     manager_runs: List[float]
     transition_time_s: float
     migrations: int
+    level_transitions: int = 0
 
     @property
     def mean_abs_deviation_pct(self) -> float:
@@ -99,14 +125,21 @@ class SimulationTrace:
 
 
 class OnlineSimulation:
-    """Time-stepped execution of a phased workload under a manager.
+    """Event-driven execution of a phased workload under a manager.
 
     Implements the full Figure 2 timeline: the power manager runs at
     the (short) DVFS interval; optionally, an OS scheduling policy
     re-runs at the (long) OS interval and may migrate threads between
     cores based on fresh profiling. Migrations pay the same per-level
     V/f transition accounting as DVFS changes (a conservative proxy
-    for cache-warmup cost).
+    for cache-warmup cost), with a minimum of one level per migrated
+    thread.
+
+    Args:
+        transition_latency_s: Core-time lost per DVFS level stepped.
+            Zero disables transition accounting entirely (useful for
+            ablations and for validating the event-driven loop against
+            the dense reference).
     """
 
     def __init__(
@@ -121,11 +154,14 @@ class OnlineSimulation:
         mean_phase_s: float = 0.050,
         policy=None,
         os_interval_s: Optional[float] = None,
+        transition_latency_s: float = TRANSITION_LATENCY_PER_LEVEL_S,
     ) -> None:
         if (policy is None) != (os_interval_s is None):
             raise ValueError("policy and os_interval_s go together")
         if os_interval_s is not None and os_interval_s <= 0:
             raise ValueError("os_interval_s must be positive")
+        if transition_latency_s < 0:
+            raise ValueError("transition latency must be non-negative")
         self.chip = chip
         self.workload = workload
         self.assignment = assignment
@@ -138,6 +174,7 @@ class OnlineSimulation:
         self.manager = manager
         self.policy = policy
         self.os_interval_s = os_interval_s
+        self.transition_latency_s = transition_latency_s
         self._policy_rng = np.random.default_rng([phase_seed, 0x05])
         self.phased = [
             PhasedApplication(app, seed=i * 1000 + phase_seed,
@@ -154,53 +191,159 @@ class OnlineSimulation:
             ceff_mult[i] = state.power_multiplier
         return ipc_mult, ceff_mult
 
+    def _multiplier_grid(
+        self, times: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample (ipc, ceff) multipliers for every application.
+
+        Built from each application's phase timeline; selecting the
+        segment via ``searchsorted(..., side="right")`` performs the
+        identical comparison :meth:`PhasedApplication.state_at` does,
+        so the grid matches a per-sample ``state_at`` sweep exactly.
+        """
+        n_steps = times.size
+        n_apps = len(self.phased)
+        ipc_grid = np.empty((n_steps, n_apps))
+        ceff_grid = np.empty((n_steps, n_apps))
+        horizon = float(times[-1]) if n_steps else 0.0
+        for i, ph in enumerate(self.phased):
+            ends, ipc, power = ph.timeline_until(horizon)
+            idx = np.searchsorted(ends, times, side="right")
+            ipc_grid[:, i] = ipc[idx]
+            ceff_grid[:, i] = power[idx]
+        return ipc_grid, ceff_grid
+
+    def _transition_steps(
+        self,
+        prev_levels: Sequence[int],
+        new_levels: Sequence[int],
+        migrated: Tuple[int, ...],
+    ) -> List[int]:
+        """Per-thread DVFS levels stepped by a manager decision.
+
+        Migrated threads pay at least one level even if they land on
+        the same level index of their new core.
+        """
+        stepped = [abs(a - b) for a, b in zip(prev_levels, new_levels)]
+        for i in migrated:
+            stepped[i] = max(stepped[i], 1)
+        return stepped
+
+    def _lossy_sample(
+        self, state, stepped: Sequence[int],
+    ) -> Tuple[float, float]:
+        """(throughput, weighted throughput) of the sample covering a
+        transition: each stepping core does no useful work for
+        ``stepped[i] * transition_latency_s`` of the sample period."""
+        frac = np.clip(
+            1.0 - np.asarray(stepped, dtype=float)
+            * self.transition_latency_s / SENSOR_PERIOD_S,
+            0.0, 1.0)
+        lossy = state.scaled(frac)
+        return (lossy.throughput_mips,
+                lossy.weighted_throughput(self.workload))
+
     def run(self, duration_s: float, dvfs_interval_s: float,
-            ) -> SimulationTrace:
+            mode: str = "event") -> SimulationTrace:
         """Simulate ``duration_s`` with the manager run at an interval.
 
         Args:
             duration_s: Total simulated time.
             dvfs_interval_s: Period between power-manager invocations
                 (the x-axis of Figure 14).
+            mode: ``"event"`` (default) advances between events with a
+                cached system state; ``"dense"`` re-evaluates every
+                sensor sample (the reference loop — identical traces,
+                ~an order of magnitude more fixed-point solves).
 
         Returns:
             A :class:`SimulationTrace`.
         """
         if duration_s <= 0 or dvfs_interval_s <= 0:
             raise ValueError("duration and interval must be positive")
-        p_target = self.env.p_target(self.assignment.n_threads,
-                                     self.chip.n_cores)
+        if mode not in ("event", "dense"):
+            raise ValueError("mode must be 'event' or 'dense'")
         n_steps = int(round(duration_s / SENSOR_PERIOD_S))
         times = np.arange(n_steps) * SENSOR_PERIOD_S
+        ipc_grid, ceff_grid = self._multiplier_grid(times)
+        if mode == "dense":
+            return self._run_dense(times, dvfs_interval_s,
+                                   ipc_grid, ceff_grid)
+        return self._run_event(times, dvfs_interval_s,
+                               ipc_grid, ceff_grid)
+
+    # ------------------------------------------------------------------
+    # Shared per-event logic
+    # ------------------------------------------------------------------
+
+    def _os_reschedule(self, t: float, assignment: Assignment,
+                       ) -> Tuple[Assignment, Tuple[int, ...]]:
+        """Run the OS policy; returns (assignment, migrated threads)."""
+        new_assignment = self.policy.assign_with_profiling(
+            self.chip, self.workload, self._policy_rng)
+        if new_assignment.core_of == assignment.core_of:
+            return assignment, ()
+        migrated = tuple(
+            i for i, (a, b) in enumerate(zip(new_assignment.core_of,
+                                             assignment.core_of))
+            if a != b)
+        return new_assignment, migrated
+
+    # ------------------------------------------------------------------
+    # Event-driven loop
+    # ------------------------------------------------------------------
+
+    def _run_event(self, times: np.ndarray, dvfs_interval_s: float,
+                   ipc_grid: np.ndarray, ceff_grid: np.ndarray,
+                   ) -> SimulationTrace:
+        n_steps = times.size
+        p_target = self.env.p_target(self.assignment.n_threads,
+                                     self.chip.n_cores)
         power = np.empty(n_steps)
         tput = np.empty(n_steps)
         wtput = np.empty(n_steps)
         manager_runs: List[float] = []
         transition_time = 0.0
+        level_transitions = 0
+        migrations = 0
+
+        # Steps at which any application's multipliers change.
+        changed = np.zeros(n_steps, dtype=bool)
+        changed[1:] = np.any(
+            (ipc_grid[1:] != ipc_grid[:-1])
+            | (ceff_grid[1:] != ceff_grid[:-1]), axis=1)
+        change_steps = np.flatnonzero(changed)
+
+        def next_timer_step(target_t: float, step: int) -> int:
+            """First sample index after ``step`` whose time reaches
+            ``target_t`` (a timer fires at most once per sample)."""
+            s = int(np.searchsorted(times, target_t - _TIME_EPS,
+                                    side="left"))
+            return min(max(s, step + 1), n_steps)
 
         levels: Optional[List[int]] = None
+        prev_levels: Optional[List[int]] = None
         state = None
         assignment = self.assignment
         next_manager_t = 0.0
         next_os_t = (self.os_interval_s
                      if self.os_interval_s is not None else None)
-        migrations = 0
-        for step in range(n_steps):
+        step = 0
+        while step < n_steps:
             t = times[step]
-            ipc_mult, ceff_mult = self._multipliers(t)
-            if next_os_t is not None and t >= next_os_t - 1e-12:
-                new_assignment = self.policy.assign_with_profiling(
-                    self.chip, self.workload, self._policy_rng)
-                if new_assignment.core_of != assignment.core_of:
-                    migrations += sum(
-                        a != b for a, b in zip(new_assignment.core_of,
-                                               assignment.core_of))
-                    assignment = new_assignment
+            ipc_mult = ipc_grid[step]
+            ceff_mult = ceff_grid[step]
+            migrated: Tuple[int, ...] = ()
+            if next_os_t is not None and t >= next_os_t - _TIME_EPS:
+                assignment, migrated = self._os_reschedule(t, assignment)
+                if migrated:
+                    migrations += len(migrated)
                     # Force a fresh manager decision for the new map.
                     levels = None
                     next_manager_t = t
                 next_os_t += self.os_interval_s
-            if t >= next_manager_t - 1e-12:
+            stepped: Optional[List[int]] = None
+            if t >= next_manager_t - _TIME_EPS:
                 kwargs = dict(ipc_multipliers=ipc_mult,
                               ceff_multipliers=ceff_mult)
                 if levels is not None:
@@ -211,21 +354,40 @@ class OnlineSimulation:
                     self.chip, self.workload, assignment, self.env,
                     **kwargs)
                 new_levels = list(result.levels)
-                if levels is not None:
-                    stepped = sum(abs(a - b)
-                                  for a, b in zip(levels, new_levels))
+                if prev_levels is not None:
+                    stepped = self._transition_steps(prev_levels,
+                                                     new_levels, migrated)
+                    n_stepped = sum(stepped)
+                    level_transitions += n_stepped
                     transition_time += (
-                        stepped * TRANSITION_LATENCY_PER_LEVEL_S)
+                        n_stepped * self.transition_latency_s)
+                    if n_stepped == 0:
+                        stepped = None
                 levels = new_levels
+                prev_levels = list(new_levels)
                 manager_runs.append(t)
                 next_manager_t += dvfs_interval_s
-            state = evaluate_levels(self.chip, self.workload,
-                                    assignment, levels,
-                                    ipc_multipliers=ipc_mult,
-                                    ceff_multipliers=ceff_mult)
-            power[step] = state.total_power
-            tput[step] = state.throughput_mips
-            wtput[step] = state.weighted_throughput(self.workload)
+                state = None  # operating point changed
+            if state is None or changed[step]:
+                state = evaluate_levels(self.chip, self.workload,
+                                        assignment, levels,
+                                        ipc_multipliers=ipc_mult,
+                                        ceff_multipliers=ceff_mult)
+            # The state is constant until the next event: fill the
+            # sensor samples directly from the cached evaluation.
+            nxt = n_steps
+            j = int(np.searchsorted(change_steps, step, side="right"))
+            if j < change_steps.size:
+                nxt = min(nxt, int(change_steps[j]))
+            nxt = min(nxt, next_timer_step(next_manager_t, step))
+            if next_os_t is not None:
+                nxt = min(nxt, next_timer_step(next_os_t, step))
+            power[step:nxt] = state.total_power
+            tput[step:nxt] = state.throughput_mips
+            wtput[step:nxt] = state.weighted_throughput(self.workload)
+            if stepped is not None and self.transition_latency_s > 0:
+                tput[step], wtput[step] = self._lossy_sample(state, stepped)
+            step = nxt
         return SimulationTrace(
             times_s=times,
             power_w=power,
@@ -235,4 +397,94 @@ class OnlineSimulation:
             manager_runs=manager_runs,
             transition_time_s=transition_time,
             migrations=migrations,
+            level_transitions=level_transitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Dense reference loop (per-sample re-evaluation)
+    # ------------------------------------------------------------------
+
+    def _run_dense(self, times: np.ndarray, dvfs_interval_s: float,
+                   ipc_grid: np.ndarray, ceff_grid: np.ndarray,
+                   ) -> SimulationTrace:
+        """Per-millisecond reference loop.
+
+        Semantically identical to the event-driven loop (same manager
+        invocations, same evaluations at events) but re-solves the
+        leakage-temperature fixed point at every sensor sample. Kept
+        for validation and for the perf benchmark's baseline.
+        """
+        n_steps = times.size
+        p_target = self.env.p_target(self.assignment.n_threads,
+                                     self.chip.n_cores)
+        power = np.empty(n_steps)
+        tput = np.empty(n_steps)
+        wtput = np.empty(n_steps)
+        manager_runs: List[float] = []
+        transition_time = 0.0
+        level_transitions = 0
+        migrations = 0
+
+        levels: Optional[List[int]] = None
+        prev_levels: Optional[List[int]] = None
+        state = None
+        assignment = self.assignment
+        next_manager_t = 0.0
+        next_os_t = (self.os_interval_s
+                     if self.os_interval_s is not None else None)
+        for step in range(n_steps):
+            t = times[step]
+            ipc_mult = ipc_grid[step]
+            ceff_mult = ceff_grid[step]
+            migrated: Tuple[int, ...] = ()
+            if next_os_t is not None and t >= next_os_t - _TIME_EPS:
+                assignment, migrated = self._os_reschedule(t, assignment)
+                if migrated:
+                    migrations += len(migrated)
+                    levels = None
+                    next_manager_t = t
+                next_os_t += self.os_interval_s
+            stepped: Optional[List[int]] = None
+            if t >= next_manager_t - _TIME_EPS:
+                kwargs = dict(ipc_multipliers=ipc_mult,
+                              ceff_multipliers=ceff_mult)
+                if levels is not None:
+                    kwargs.update(initial_levels=levels,
+                                  initial_state=state)
+                result = self.manager.set_levels(
+                    self.chip, self.workload, assignment, self.env,
+                    **kwargs)
+                new_levels = list(result.levels)
+                if prev_levels is not None:
+                    stepped = self._transition_steps(prev_levels,
+                                                     new_levels, migrated)
+                    n_stepped = sum(stepped)
+                    level_transitions += n_stepped
+                    transition_time += (
+                        n_stepped * self.transition_latency_s)
+                    if n_stepped == 0:
+                        stepped = None
+                levels = new_levels
+                prev_levels = list(new_levels)
+                manager_runs.append(t)
+                next_manager_t += dvfs_interval_s
+            state = evaluate_levels(self.chip, self.workload,
+                                    assignment, levels,
+                                    ipc_multipliers=ipc_mult,
+                                    ceff_multipliers=ceff_mult)
+            power[step] = state.total_power
+            tput[step] = state.throughput_mips
+            wtput[step] = state.weighted_throughput(self.workload)
+            if stepped is not None and self.transition_latency_s > 0:
+                tput[step], wtput[step] = self._lossy_sample(state, stepped)
+        return SimulationTrace(
+            times_s=times,
+            power_w=power,
+            p_target_w=p_target,
+            throughput_mips=tput,
+            weighted_throughput=wtput,
+            manager_runs=manager_runs,
+            transition_time_s=transition_time,
+            migrations=migrations,
+            level_transitions=level_transitions,
         )

@@ -12,8 +12,10 @@ phases burn more power).
 
 from __future__ import annotations
 
+import bisect
+import zlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -56,10 +58,15 @@ class PhasedApplication:
         self.profile = profile
         self.mean_phase_s = mean_phase_s
         self.sigma = sigma
+        # crc32, not hash(): str hashing is salted per process, which
+        # would make phase traces unreproducible across runs.
         self._rng = np.random.default_rng(
-            [seed, hash(profile.name) & 0x7FFFFFFF])
+            [seed, zlib.crc32(profile.name.encode()) & 0x7FFFFFFF])
         self._phase_end = 0.0
-        self._state = PhaseState(1.0, 1.0)
+        # Generated segments: segment k covers [end_{k-1}, end_k) with
+        # state _seg_states[k] (end_{-1} = 0).
+        self._seg_ends: List[float] = []
+        self._seg_states: List[PhaseState] = []
 
     def _draw_phase(self) -> PhaseState:
         z1 = self._rng.standard_normal()
@@ -74,19 +81,58 @@ class PhasedApplication:
             power_multiplier=float(np.exp(self.sigma * pow_z) * correction),
         )
 
-    def state_at(self, time_s: float) -> PhaseState:
-        """Phase multipliers at simulation time ``time_s``.
-
-        Must be called with non-decreasing times (the process is
-        generated forward).
-        """
-        if time_s < 0:
-            raise ValueError("time must be non-negative")
+    def _advance_to(self, time_s: float) -> None:
+        """Generate phases forward until the process covers ``time_s``."""
         while time_s >= self._phase_end:
             duration = self._rng.exponential(self.mean_phase_s)
             self._phase_end += max(duration, 1e-6)
-            self._state = self._draw_phase()
-        return self._state
+            state = self._draw_phase()
+            self._seg_ends.append(self._phase_end)
+            self._seg_states.append(state)
+
+    def state_at(self, time_s: float) -> PhaseState:
+        """Phase multipliers at simulation time ``time_s``.
+
+        The process is generated forward on demand; any time within
+        the generated horizon can be queried (segments are kept).
+        """
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        self._advance_to(time_s)
+        idx = bisect.bisect_right(self._seg_ends, time_s)
+        return self._seg_states[idx]
+
+    def boundaries_until(self, t_end: float) -> List[float]:
+        """Times in (0, ``t_end``) at which the phase changes.
+
+        Returned in increasing order. The online simulation uses these
+        to build its event timeline: between consecutive boundaries the
+        multipliers are constant, so the system state need not be
+        re-evaluated.
+        """
+        if t_end < 0:
+            raise ValueError("time must be non-negative")
+        self._advance_to(t_end)
+        idx = bisect.bisect_left(self._seg_ends, t_end)
+        return list(self._seg_ends[:idx])
+
+    def timeline_until(
+        self, t_end: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segment ends plus per-segment multipliers covering [0, t_end].
+
+        Returns ``(ends, ipc_multipliers, power_multipliers)`` where
+        segment k spans ``[ends[k-1], ends[k])``. Looking up a time t
+        via ``np.searchsorted(ends, t, side="right")`` selects exactly
+        the segment :meth:`state_at` would return.
+        """
+        if t_end < 0:
+            raise ValueError("time must be non-negative")
+        self._advance_to(t_end)
+        ends = np.array(self._seg_ends)
+        ipc = np.array([s.ipc_multiplier for s in self._seg_states])
+        power = np.array([s.power_multiplier for s in self._seg_states])
+        return ends, ipc, power
 
     def ipc_at(self, freq_hz: float, time_s: float) -> float:
         """Phase-adjusted IPC at a frequency and simulation time."""

@@ -47,6 +47,27 @@ class TestChipFactory:
         factory.chips(3)
         assert factory.chip(0) is first
 
+    def test_incremental_growth_matches_full_batch(self):
+        """chip(i) must not depend on how the die batch was grown.
+
+        DieBatch seeds each die independently, so a factory whose
+        internal batch was regrown incrementally (default
+        ``n_dies_hint=1``) must produce dies identical to one sized to
+        the full batch up front.
+        """
+        incremental = ChipFactory(seed=11)
+        full = ChipFactory(seed=11)
+        inc_first = incremental.chip(0)          # batch of 1
+        inc_last = incremental.chip(2)           # forces regrowth to 3
+        full_last = full.chip(2, n_dies_hint=8)  # batch of 8 up front
+        full_first = full.chip(0, n_dies_hint=8)
+        np.testing.assert_array_equal(inc_first.fmax_array,
+                                      full_first.fmax_array)
+        np.testing.assert_array_equal(inc_last.fmax_array,
+                                      full_last.fmax_array)
+        np.testing.assert_array_equal(inc_first.static_rated_array,
+                                      full_first.static_rated_array)
+
 
 class TestFormatting:
     def test_format_rows_alignment(self):
@@ -60,6 +81,19 @@ class TestFormatting:
     def test_format_rows_empty(self):
         table = format_rows(["x"], [])
         assert "x" in table
+
+    def test_format_rows_numpy_scalars(self):
+        """np.float32/np.float64/np.integer format like builtins."""
+        table = format_rows(
+            ["a", "b", "c", "d", "e"],
+            [[np.float32(1.5), np.float64(2.5), np.int32(3), 4, 5.0]])
+        cells = table.splitlines()[-1].split()
+        assert cells == ["1.500", "2.500", "3", "4", "5.000"]
+
+    def test_format_rows_non_numeric_cells(self):
+        table = format_rows(["name", "ok"], [["foxton", True]])
+        assert "foxton" in table
+        assert "True" in table
 
     def test_histogram(self):
         counts, edges = histogram(np.array([1.0, 1.1, 1.2, 1.9]),

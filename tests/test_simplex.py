@@ -121,6 +121,85 @@ class TestKnownProblems:
         assert res.objective == pytest.approx(-ref.fun, rel=1e-8)
 
 
+class TestRedundantConstraints:
+    """Linearly dependent rows must not corrupt the phase-2 tableau.
+
+    When phase 1 cannot pivot an artificial variable out of the basis
+    (its row is a redundant combination of other constraints), the row
+    is dropped; leaving the artificial basic while zeroing its column
+    breaks the basis invariant.
+    """
+
+    def test_duplicated_ge_rows(self):
+        # x + y >= 2 stated twice, maximise -x - 2y.
+        res = solve_lp_maximize(
+            c=np.array([-1.0, -2.0]),
+            a_ub=np.array([[-1.0, -1.0], [-1.0, -1.0]]),
+            b_ub=np.array([-2.0, -2.0]),
+            upper=np.array([5.0, 5.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-2.0)  # x=2, y=0
+
+    def test_scaled_dependent_ge_rows(self):
+        # x + y >= 2 and 2x + 2y >= 4 and 3x + 3y >= 6: one facet.
+        res = solve_lp_maximize(
+            c=np.array([-1.0, -1.0]),
+            a_ub=np.array([[-1.0, -1.0], [-2.0, -2.0], [-3.0, -3.0]]),
+            b_ub=np.array([-2.0, -4.0, -6.0]),
+            upper=np.array([4.0, 4.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_dependent_rows_mixed_with_active_constraints(self):
+        # max 3x+2y s.t. x+3y <= 6 and the dependent pair x+y >= 2.
+        res = solve_lp_maximize(
+            c=np.array([3.0, 2.0]),
+            a_ub=np.array([[-1.0, -1.0], [-2.0, -2.0], [1.0, 3.0]]),
+            b_ub=np.array([-2.0, -4.0, 6.0]),
+            upper=np.array([6.0, 6.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(18.0)  # x=6, y=0
+
+    def test_dependent_equality_pair(self):
+        # x + y + z == 3 (as a >=/<= pair) plus a scaled copy of the
+        # >= half; maximise x + 2y.
+        res = solve_lp_maximize(
+            c=np.array([1.0, 2.0, 0.0]),
+            a_ub=np.array([[-1.0, -1.0, -1.0],
+                           [-2.0, -2.0, -2.0],
+                           [1.0, 1.0, 1.0]]),
+            b_ub=np.array([-3.0, -6.0, 3.0]),
+            upper=np.array([10.0, 10.0, 10.0]))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(6.0)  # y=3
+
+    def test_rank_deficient_instances_match_scipy(self):
+        """Structured fuzz: >= blocks built from a rank-1/2 basis."""
+        for seed in range(40):
+            rng = np.random.default_rng([seed, 7])
+            n = int(rng.integers(2, 6))
+            rank = int(rng.integers(1, 3))
+            base = rng.uniform(-1, 1, size=(rank, n))
+            mult = rng.uniform(0.5, 3.0,
+                               size=(int(rng.integers(2, 5)), rank))
+            ge = mult @ base
+            x0 = rng.uniform(0.2, 1.5, n)
+            a = -ge
+            b = -(ge @ x0)
+            c = rng.normal(size=n)
+            ub = rng.uniform(1.0, 3.0, n)
+            res = solve_lp_maximize(c, a, b, upper=ub)
+            ref = linprog(-c, A_ub=a, b_ub=b,
+                          bounds=[(0, u) for u in ub], method="highs")
+            if ref.status == 0:
+                assert res.is_optimal, f"seed {seed}"
+                assert res.objective == pytest.approx(
+                    -ref.fun, rel=1e-6, abs=1e-7), f"seed {seed}"
+                assert np.all(a @ res.x <= b + 1e-6), f"seed {seed}"
+            elif ref.status == 2:
+                assert res.status == STATUS_INFEASIBLE, f"seed {seed}"
+
+
 class TestFuzzAgainstScipy:
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=60, deadline=None)

@@ -1,14 +1,39 @@
-"""Tests for the online time-stepped simulation (Figure 2 / 14)."""
+"""Tests for the online event-driven simulation (Figure 2 / 14)."""
 
 import numpy as np
 import pytest
 
 from repro.config import COST_PERFORMANCE
 from repro.pm import FoxtonStar, LinOpt, LinOptConfig
+from repro.pm.base import PmResult, PowerManager
 from repro.runtime import OnlineSimulation
-from repro.runtime.simulation import SENSOR_PERIOD_S
+from repro.runtime.evaluation import EVALUATION_COUNTER, evaluate_levels
+from repro.runtime.simulation import (
+    SENSOR_PERIOD_S,
+    TRANSITION_LATENCY_PER_LEVEL_S,
+)
 from repro.sched import VarFAppIPC
 from repro.workloads import make_workload
+
+
+class AlternatingManager(PowerManager):
+    """Steps every thread between levels 0 and 1 on each invocation."""
+
+    name = "alternating"
+
+    def __init__(self) -> None:
+        self._flip = False
+
+    def set_levels(self, chip, workload, assignment, env, rng=None,
+                   initial_levels=None, initial_state=None,
+                   ipc_multipliers=None, ceff_multipliers=None):
+        level = 1 if self._flip else 0
+        self._flip = not self._flip
+        levels = [level] * assignment.n_threads
+        state = evaluate_levels(chip, workload, assignment, levels,
+                                ipc_multipliers=ipc_multipliers,
+                                ceff_multipliers=ceff_multipliers)
+        return PmResult(levels=tuple(levels), state=state, evaluations=1)
 
 
 @pytest.fixture()
@@ -84,6 +109,20 @@ class TestOnlineSimulation:
         with pytest.raises(ValueError):
             sim.run(duration_s=0.01, dvfs_interval_s=0.0)
 
+    def test_rejects_bad_mode(self, chip, sim_setup):
+        wl, asg = sim_setup
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=FoxtonStar())
+        with pytest.raises(ValueError):
+            sim.run(0.01, 0.01, mode="banana")
+
+    def test_rejects_negative_transition_latency(self, chip, sim_setup):
+        wl, asg = sim_setup
+        with pytest.raises(ValueError):
+            OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                             manager=FoxtonStar(),
+                             transition_latency_s=-1e-6)
+
     def test_default_manager_is_linopt(self, chip, sim_setup):
         wl, asg = sim_setup
         sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE)
@@ -99,6 +138,114 @@ class TestOnlineSimulation:
             trace.throughput_mips.mean())
         assert trace.ed2_relative == pytest.approx(
             trace.mean_power_w / trace.mean_throughput_mips ** 3)
+
+
+class TestEventDrivenLoop:
+    """The event loop must reproduce the dense reference bitwise."""
+
+    def _run(self, chip, wl, asg, mode, manager, latency,
+             policy=None, os_interval_s=None, duration=0.05):
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=manager, phase_seed=5,
+                               transition_latency_s=latency,
+                               policy=policy, os_interval_s=os_interval_s)
+        EVALUATION_COUNTER.reset()
+        trace = sim.run(duration, 0.01, mode=mode)
+        return trace, EVALUATION_COUNTER.count
+
+    def _assert_identical(self, a, b):
+        np.testing.assert_array_equal(a.power_w, b.power_w)
+        np.testing.assert_array_equal(a.throughput_mips, b.throughput_mips)
+        np.testing.assert_array_equal(a.weighted_throughput,
+                                      b.weighted_throughput)
+        assert a.manager_runs == b.manager_runs
+        assert a.transition_time_s == b.transition_time_s
+        assert a.level_transitions == b.level_transitions
+        assert a.migrations == b.migrations
+
+    def test_matches_dense_with_zero_latency(self, chip, sim_setup):
+        wl, asg = sim_setup
+        dense, _ = self._run(chip, wl, asg, "dense", FoxtonStar(), 0.0)
+        event, _ = self._run(chip, wl, asg, "event", FoxtonStar(), 0.0)
+        self._assert_identical(dense, event)
+
+    def test_matches_dense_with_transition_latency(self, chip, sim_setup):
+        wl, asg = sim_setup
+        mgr = LinOpt(LinOptConfig(n_iterations=2))
+        dense, _ = self._run(chip, wl, asg, "dense", mgr,
+                             TRANSITION_LATENCY_PER_LEVEL_S)
+        mgr = LinOpt(LinOptConfig(n_iterations=2))
+        event, _ = self._run(chip, wl, asg, "event", mgr,
+                             TRANSITION_LATENCY_PER_LEVEL_S)
+        self._assert_identical(dense, event)
+
+    def test_matches_dense_with_os_policy(self, chip, sim_setup):
+        wl, asg = sim_setup
+        from repro.sched import RandomPolicy
+        dense, _ = self._run(chip, wl, asg, "dense", FoxtonStar(),
+                             TRANSITION_LATENCY_PER_LEVEL_S,
+                             policy=RandomPolicy(), os_interval_s=0.02,
+                             duration=0.06)
+        event, _ = self._run(chip, wl, asg, "event", FoxtonStar(),
+                             TRANSITION_LATENCY_PER_LEVEL_S,
+                             policy=RandomPolicy(), os_interval_s=0.02,
+                             duration=0.06)
+        assert dense.migrations > 0
+        self._assert_identical(dense, event)
+
+    def test_event_loop_evaluates_less(self, chip, sim_setup):
+        wl, asg = sim_setup
+        _, dense_evals = self._run(chip, wl, asg, "dense",
+                                   FoxtonStar(), 0.0, duration=0.08)
+        _, event_evals = self._run(chip, wl, asg, "event",
+                                   FoxtonStar(), 0.0, duration=0.08)
+        assert event_evals < dense_evals
+
+
+class TestTransitionAccounting:
+    """V/f transition time must be charged against throughput."""
+
+    def _run(self, chip, wl, asg, latency):
+        sim = OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                               manager=AlternatingManager(), phase_seed=3,
+                               transition_latency_s=latency)
+        return sim.run(duration_s=0.04, dvfs_interval_s=0.01)
+
+    def test_every_invocation_steps_a_level(self, chip, sim_setup):
+        wl, asg = sim_setup
+        trace = self._run(chip, wl, asg, TRANSITION_LATENCY_PER_LEVEL_S)
+        # 4 invocations; every one after the first moves every thread
+        # by exactly one level.
+        n_invocations = len(trace.manager_runs)
+        assert n_invocations == 4
+        expected_steps = (n_invocations - 1) * asg.n_threads
+        assert trace.level_transitions == expected_steps
+        assert trace.transition_time_s == pytest.approx(
+            expected_steps * TRANSITION_LATENCY_PER_LEVEL_S)
+
+    def test_transitions_cost_throughput(self, chip, sim_setup):
+        wl, asg = sim_setup
+        lossy = self._run(chip, wl, asg, TRANSITION_LATENCY_PER_LEVEL_S)
+        free = self._run(chip, wl, asg, 0.0)
+        assert free.transition_time_s == 0.0
+        assert lossy.mean_throughput_mips < free.mean_throughput_mips
+        assert lossy.mean_weighted_throughput < free.mean_weighted_throughput
+        # Power is unaffected: transitions stall work, not the rail.
+        np.testing.assert_array_equal(lossy.power_w, free.power_w)
+
+    def test_loss_magnitude_matches_latency(self, chip, sim_setup):
+        wl, asg = sim_setup
+        lossy = self._run(chip, wl, asg, TRANSITION_LATENCY_PER_LEVEL_S)
+        free = self._run(chip, wl, asg, 0.0)
+        # Each post-first manager sample loses one level's latency of
+        # work on every thread: its throughput is scaled by exactly
+        # (1 - latency / sample period).
+        scale = 1.0 - TRANSITION_LATENCY_PER_LEVEL_S / SENSOR_PERIOD_S
+        changed = lossy.throughput_mips != free.throughput_mips
+        assert changed.sum() == len(lossy.manager_runs) - 1
+        np.testing.assert_allclose(
+            lossy.throughput_mips[changed],
+            free.throughput_mips[changed] * scale, rtol=1e-12)
 
 
 class TestOsRescheduling:

@@ -133,6 +133,39 @@ class TestPhases:
         mult = ph.state_at(0.0).ipc_multiplier
         assert ph.ipc_at(3e9, 0.0) == pytest.approx(app.ipc_at(3e9) * mult)
 
+    def test_boundaries_until_match_state_at(self):
+        """The bulk timeline API agrees with pointwise state_at()."""
+        ph = PhasedApplication(get_app("art"), seed=9, mean_phase_s=0.02)
+        ends, ipc, power = ph.timeline_until(0.5)
+        assert ends.size == ipc.size == power.size
+        assert np.all(np.diff(ends) > 0)
+        assert ends[-1] >= 0.5  # horizon covers the requested end
+        inner = ends[ends < 0.5]
+        assert inner.size > 3  # the sweep actually crosses boundaries
+        assert ph.boundaries_until(0.5) == list(inner)
+        # Same segment selection as state_at on both sides of each edge.
+        probe = PhasedApplication(get_app("art"), seed=9, mean_phase_s=0.02)
+        times = np.concatenate([[0.0], inner - 1e-9, inner, [0.499]])
+        idx = np.searchsorted(ends, times, side="right")
+        for t, i in zip(times, idx):
+            s = probe.state_at(float(t))
+            assert s.ipc_multiplier == ipc[i]
+            assert s.power_multiplier == power[i]
+
+    def test_boundaries_until_is_prefix_stable(self):
+        ph = PhasedApplication(get_app("art"), seed=9, mean_phase_s=0.02)
+        short = ph.boundaries_until(0.2)
+        long = ph.boundaries_until(0.6)
+        np.testing.assert_array_equal(long[:len(short)], short)
+
+    def test_boundaries_does_not_disturb_state_at(self):
+        a = PhasedApplication(get_app("mcf"), seed=12, mean_phase_s=0.02)
+        b = PhasedApplication(get_app("mcf"), seed=12, mean_phase_s=0.02)
+        a.timeline_until(1.0)  # pre-materialise segments
+        for t in np.linspace(0.0, 1.5, 40):
+            assert a.state_at(float(t)).ipc_multiplier == \
+                b.state_at(float(t)).ipc_multiplier
+
 
 class TestWorkloads:
     def test_size(self):
