@@ -71,7 +71,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
 def _render_chart(name: str, result) -> Optional[str]:
     """Terminal chart for the experiments with a natural one."""
-    from .report import bar_chart, histogram_chart, line_chart
+    from .report import (bar_chart, event_timeline, histogram_chart,
+                         line_chart)
     if name == "fig4":
         return "\n\n".join([
             histogram_chart(result.power_ratios, title="Fig 4(a): "
@@ -90,6 +91,22 @@ def _render_chart(name: str, result) -> Optional[str]:
         return line_chart(range(len(result.intervals_s)), series,
                           title="Fig 14: |P - Ptarget| (%) per "
                                 "interval (left = longest)")
+    if name == "ext-faults":
+        from .experiments.ext_faults import DURATION_S
+        curves = line_chart(
+            result.noise_sigmas,
+            {"dev %": [a.deviation_pct for a in result.noise_arms],
+             "wd trig": [float(a.watchdog_triggers)
+                         for a in result.noise_arms]},
+            title="ext-faults: degradation vs sensor noise sigma")
+        wd = result.scenario.watchdog
+        timeline = event_timeline(
+            DURATION_S,
+            {"faults": wd.fault_times_s,
+             "wd triggers": wd.trigger_times_s},
+            title="ext-faults scenario: fault strikes vs watchdog "
+                  "emergencies")
+        return curves + "\n\n" + timeline
     if name in ("fig11", "fig12", "fig13"):
         some_key = sorted(result.results)[-1]
         per = result.results[some_key]

@@ -4,6 +4,7 @@ from . import (
     ablations,
     ext_abb,
     ext_aging,
+    ext_faults,
     ext_parallel,
     fig04_variation,
     fig05_sigma_sweep,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "ext-parallel": ext_parallel,
     "ext-aging": ext_aging,
     "ext-abb": ext_abb,
+    "ext-faults": ext_faults,
 }
 
 __all__ = ["ChipFactory", "EXPERIMENTS", "ablations"]

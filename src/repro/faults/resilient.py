@@ -1,0 +1,168 @@
+"""Graceful-degradation wrapper around any power manager.
+
+Implements the fallback chain **primary (LinOpt) -> Foxton* ->
+all-minimum**: if the wrapped manager raises, returns an infeasible
+state, or blows its evaluation budget (the stand-in for missing the
+10 ms decision deadline), the decision is retried with the simpler
+Foxton* controller; if that also fails, every thread is parked at its
+minimum V/f level — the one operating point that needs no model, no
+sensors and no optimisation to be safe. Which tier actually decided is
+surfaced in ``PmResult.stats`` (``resilience_tier``: 0 = primary,
+1 = fallback, 2 = all-minimum) so traces and experiments can count
+activations.
+
+Manager faults from a :class:`~repro.faults.schedule.FaultSchedule`
+are delivered through :meth:`ResilientManager.inject_failure`; the
+next invocation then behaves as if the primary had crashed (or
+overrun its deadline), exercising the same chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..chip import ChipProfile
+from ..config import PowerEnvironment
+from ..pm import FoxtonStar, LinOpt, PmResult, PowerManager, meets_constraints
+from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..workloads import Workload
+from .schedule import MANAGER_DEADLINE, MANAGER_ERROR
+
+
+class ManagerFault(RuntimeError):
+    """Raised inside a manager to simulate an injected crash."""
+
+
+class ResilientManager(PowerManager):
+    """LinOpt -> Foxton* -> all-minimum fallback chain.
+
+    Args:
+        primary: The preferred manager (default LinOpt).
+        fallback: The simpler emergency manager (default Foxton*).
+        evaluation_budget: Maximum full-system evaluations the primary
+            may spend per invocation; exceeding it counts as a missed
+            deadline and discards the primary's answer. ``None``
+            disables the budget.
+        accept_infeasible_floor: An all-floor result (every level 0)
+            is accepted from the primary even if still infeasible —
+            there is nothing further down the chain could do about a
+            budget below the chip's minimum operating point.
+
+    The wrapper is itself a :class:`PowerManager`, so it drops into
+    :class:`~repro.runtime.OnlineSimulation` unchanged.
+    """
+
+    name = "Resilient"
+
+    def __init__(self, primary: Optional[PowerManager] = None,
+                 fallback: Optional[PowerManager] = None,
+                 evaluation_budget: Optional[int] = None,
+                 accept_infeasible_floor: bool = True) -> None:
+        if evaluation_budget is not None and evaluation_budget < 1:
+            raise ValueError("evaluation budget must be positive")
+        self.primary = primary if primary is not None else LinOpt()
+        self.fallback = fallback if fallback is not None else FoxtonStar()
+        self.evaluation_budget = evaluation_budget
+        self.accept_infeasible_floor = accept_infeasible_floor
+        self.name = f"Resilient({self.primary.name})"
+        #: Cumulative count of invocations decided below tier 0.
+        self.fallback_activations = 0
+        self._injected: Optional[str] = None
+
+    def inject_failure(self, kind: str = MANAGER_ERROR) -> None:
+        """Arm a one-shot failure for the next invocation.
+
+        ``manager_error`` makes the primary raise; ``manager_deadline``
+        makes its invocation count as over-budget regardless of the
+        actual evaluation count.
+        """
+        if kind not in (MANAGER_ERROR, MANAGER_DEADLINE):
+            raise ValueError(f"unknown manager fault kind {kind!r}")
+        self._injected = kind
+
+    def _acceptable(self, result: PmResult, p_target: float,
+                    p_core_max: float) -> bool:
+        """Whether a delegate's result may be used as-is."""
+        if meets_constraints(result.state, p_target, p_core_max):
+            return True
+        if self.accept_infeasible_floor and all(
+                lv == 0 for lv in result.levels):
+            return True
+        return False
+
+    def set_levels(
+        self,
+        chip: ChipProfile,
+        workload: Workload,
+        assignment: Assignment,
+        env: PowerEnvironment,
+        rng: Optional[np.random.Generator] = None,
+        initial_levels: Optional[Sequence[int]] = None,
+        initial_state: Optional[SystemState] = None,
+        ipc_multipliers: Optional[Sequence[float]] = None,
+        ceff_multipliers: Optional[Sequence[float]] = None,
+    ) -> PmResult:
+        """Decide levels, falling down the chain on failure."""
+        p_target, p_core_max = self._budget(chip, assignment, env)
+        kwargs = dict(rng=rng, initial_levels=initial_levels,
+                      initial_state=initial_state,
+                      ipc_multipliers=ipc_multipliers,
+                      ceff_multipliers=ceff_multipliers)
+        injected, self._injected = self._injected, None
+        evaluations = 0
+        primary_failed = 0.0
+        deadline_missed = 0.0
+
+        # --- Tier 0: the primary manager. ---
+        result: Optional[PmResult] = None
+        try:
+            if injected == MANAGER_ERROR:
+                raise ManagerFault("injected manager failure")
+            result = self.primary.set_levels(chip, workload, assignment,
+                                             env, **kwargs)
+            evaluations += result.evaluations
+            if injected == MANAGER_DEADLINE or (
+                    self.evaluation_budget is not None
+                    and result.evaluations > self.evaluation_budget):
+                deadline_missed = 1.0
+                result = None
+            elif not self._acceptable(result, p_target, p_core_max):
+                result = None
+        except Exception:
+            primary_failed = 1.0
+            result = None
+        if result is not None:
+            return result.with_stats(resilience_tier=0.0,
+                                     primary_failed=0.0,
+                                     deadline_missed=0.0)
+
+        # --- Tier 1: the simple fallback controller. ---
+        self.fallback_activations += 1
+        try:
+            result = self.fallback.set_levels(chip, workload, assignment,
+                                              env, **kwargs)
+            evaluations += result.evaluations
+            if not self._acceptable(result, p_target, p_core_max):
+                result = None
+        except Exception:
+            result = None
+        if result is not None:
+            return result.with_stats(
+                resilience_tier=1.0,
+                primary_failed=primary_failed,
+                deadline_missed=deadline_missed,
+                evaluations_total=float(evaluations))
+
+        # --- Tier 2: park every thread at its minimum level. ---
+        levels = [0] * assignment.n_threads
+        state = evaluate_levels(chip, workload, assignment, levels,
+                                ipc_multipliers=ipc_multipliers,
+                                ceff_multipliers=ceff_multipliers)
+        evaluations += 1
+        return PmResult(
+            levels=tuple(levels), state=state, evaluations=evaluations,
+            stats={"resilience_tier": 2.0,
+                   "primary_failed": primary_failed,
+                   "deadline_missed": deadline_missed})

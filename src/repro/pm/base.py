@@ -40,6 +40,19 @@ class PmResult:
     evaluations: int
     stats: Dict[str, float] = field(default_factory=dict)
 
+    def with_stats(self, **extra: float) -> "PmResult":
+        """A copy with ``extra`` merged into ``stats``.
+
+        Wrapper managers (e.g. the resilience fallback chain in
+        :class:`repro.faults.ResilientManager`) use this to annotate a
+        delegate's result — ``resilience_tier``, ``primary_failed``,
+        ... — without mutating the frozen original.
+        """
+        merged = dict(self.stats)
+        merged.update(extra)
+        return PmResult(levels=self.levels, state=self.state,
+                        evaluations=self.evaluations, stats=merged)
+
 
 def meets_constraints(state: SystemState, p_target: float,
                       p_core_max: float, slack: float = 1e-9) -> bool:

@@ -17,7 +17,7 @@ adds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,30 @@ from .base import PmResult, PowerManager, meets_constraints
 
 # Hard cap on (evaluate, step) iterations per invocation.
 _MAX_STEPS_FACTOR = 2
+
+
+def next_round_robin_victim(
+    levels: Sequence[int],
+    pointer: int,
+    blocked: Sequence[bool] = (),
+) -> Tuple[int, int]:
+    """Next thread the round-robin sweep may step down.
+
+    Scans at most one full revolution from ``pointer``, skipping
+    threads already at the floor (level 0) and any marked blocked.
+    Returns ``(victim, new_pointer)`` with ``victim = -1`` when no
+    thread is eligible. Shared by :class:`FoxtonStar` and the
+    emergency power watchdog (:class:`repro.faults.PowerWatchdog`),
+    which performs the same Foxton-style sweep between manager
+    invocations.
+    """
+    n = len(levels)
+    for _ in range(n):
+        candidate = pointer % n
+        pointer += 1
+        if levels[candidate] > 0 and not (blocked and blocked[candidate]):
+            return candidate, pointer
+    return -1, pointer
 
 
 class FoxtonStar(PowerManager):
@@ -83,13 +107,8 @@ class FoxtonStar(PowerManager):
             if over_cap:
                 victim = over_cap[0]
             else:
-                victim = -1
-                for _ in range(n):
-                    candidate = self._pointer % n
-                    self._pointer += 1
-                    if levels[candidate] > 0:
-                        victim = candidate
-                        break
+                victim, self._pointer = next_round_robin_victim(
+                    levels, self._pointer)
                 if victim < 0:
                     break
             levels[victim] -= 1

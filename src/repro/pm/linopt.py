@@ -37,7 +37,7 @@ import numpy as np
 from ..chip import ChipProfile
 from ..config import PowerEnvironment
 from ..linprog import solve_lp_maximize
-from ..power import IpcSensor, PowerSensor
+from ..power import IpcSensor, PowerSensor, core_reader, independent_rngs
 from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
 from ..workloads import Workload
 from .base import PmResult, PowerManager, meets_constraints
@@ -120,6 +120,18 @@ def fit_power_lines(
     Temperatures are frozen at the current thermal state during the
     brief profiling runs (the runs are much shorter than thermal time
     constants).
+
+    ``power_sensor`` may be a single sensor or a per-core bank
+    (anything :func:`repro.power.core_reader` understands): with a
+    bank, each measurement goes through the physical sensor of the
+    core it profiles, so a faulty per-core sensor corrupts only its
+    own thread's fit.
+
+    A profiling window that degenerates to a single (V, p) point (a
+    one-level V/f table) cannot pin a line; rather than feed
+    ``np.polyfit`` a singular system, the fit falls back to zero slope
+    through the measured point — the conservative "voltage does not
+    buy this core anything" model.
     """
     n = assignment.n_threads
     ceff_mult = (np.ones(n) if ceff_multipliers is None
@@ -140,6 +152,7 @@ def fit_power_lines(
             if hi - lo < 1:  # widen degenerate windows
                 lo = max(hi - 1, 0)
             level_set = sorted({lo, (lo + hi) // 2, hi})
+        reader = core_reader(power_sensor, core_id)
         xs, ys = [], []
         for level in level_set:
             v_lv = float(table.voltages[level])
@@ -147,8 +160,13 @@ def fit_power_lines(
             true_p = (ceff_mult[i] * workload[i].dynamic_power_at(v_lv, f_lv)
                       + core.leakage.power(v_lv, float(core_temps[core_id])))
             xs.append(v_lv)
-            ys.append(power_sensor.read(true_p))
-        b, c = np.polyfit(np.array(xs), np.array(ys), 1)
+            ys.append(reader.read(true_p))
+        if len(xs) >= 2:
+            b, c = np.polyfit(np.array(xs), np.array(ys), 1)
+        else:
+            # Degenerate window (one-level table): a single point
+            # cannot pin a line — assume flat power in V.
+            b, c = 0.0, ys[0]
         slope[i] = b
         intercept[i] = c
     return LinearPowerFit(slope=slope, intercept=intercept)
@@ -163,8 +181,14 @@ class LinOpt(PowerManager):
                  power_sensor: Optional[PowerSensor] = None,
                  ipc_sensor: Optional[IpcSensor] = None) -> None:
         self.config = config or LinOptConfig()
-        self.power_sensor = power_sensor or PowerSensor()
-        self.ipc_sensor = ipc_sensor or IpcSensor()
+        # Default sensors get *independent* child streams of one parent
+        # seed: a shared default_rng(0) would correlate power and IPC
+        # noise sample-for-sample once noise is configured.
+        power_rng, ipc_rng = independent_rngs(2, seed=0)
+        self.power_sensor = (power_sensor if power_sensor is not None
+                             else PowerSensor(rng=power_rng))
+        self.ipc_sensor = (ipc_sensor if ipc_sensor is not None
+                           else IpcSensor(rng=ipc_rng))
 
     def set_levels(
         self,
@@ -232,7 +256,9 @@ class LinOpt(PowerManager):
                               center_levels=levels if local else None,
                               span_levels=self.config.profile_span_levels,
                               ceff_multipliers=ceff_multipliers)
-        ipcs = np.array([self.ipc_sensor.read(ipc) for ipc in current.ipcs])
+        ipcs = np.array([
+            core_reader(self.ipc_sensor, assignment.core_of[i]).read(ipc)
+            for i, ipc in enumerate(current.ipcs)])
         f_slope = np.empty(n)
         for i, core_id in enumerate(assignment.core_of):
             f_slope[i], _ = chip.cores[core_id].vf_table.linear_fit()

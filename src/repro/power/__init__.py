@@ -18,7 +18,14 @@ from .leakage import (
     leakage_factor,
     subthreshold_slope_factor,
 )
-from .sensors import IpcSensor, PowerSensor, Sensor, SensorSpec
+from .sensors import (
+    IpcSensor,
+    PowerSensor,
+    Sensor,
+    SensorSpec,
+    core_reader,
+    independent_rngs,
+)
 
 __all__ = [
     "CORE_STATIC_NOMINAL_W",
@@ -35,7 +42,9 @@ __all__ = [
     "UnitLeakage",
     "build_core_leakage",
     "ceff_from_reference",
+    "core_reader",
     "dynamic_power",
+    "independent_rngs",
     "l2_dynamic_power",
     "leakage_calibration",
     "leakage_factor",

@@ -5,23 +5,70 @@ internals directly; they read sensors, which add configurable
 quantisation and Gaussian noise to the true value. With the default
 zero-noise settings the sensors are transparent, which keeps the
 headline experiments deterministic; the sensor-noise robustness bench
-turns noise on.
+(``python -m repro.cli ext-faults``, backed by
+``benchmarks/test_bench_faults.py`` and
+``benchmarks/test_bench_sensor_noise.py``) turns noise — and outright
+sensor faults, via :mod:`repro.faults` — on.
+
+Consumers that own several sensors must give each one an independent
+noise stream: two default-constructed sensors share the seed-0 stream
+and would produce perfectly correlated errors. Use
+:func:`independent_rngs` to derive per-sensor generators from one
+parent seed (reproducible, yet statistically independent).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 
+def independent_rngs(n: int, seed: int = 0) -> List[np.random.Generator]:
+    """``n`` statistically independent generators from one parent seed.
+
+    Spawns child :class:`numpy.random.SeedSequence` objects, so the
+    streams are independent but the whole set is reproducible from
+    ``seed`` — the right way to seed a bank of sensors (one shared
+    ``default_rng(seed)`` would make their noise perfectly correlated).
+    """
+    if n < 1:
+        raise ValueError("need at least one generator")
+    return [np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(n)]
+
+
+def core_reader(sensor, core_id: int):
+    """Per-core view of a sensor or sensor bank.
+
+    Sensor banks (:class:`repro.faults.SensorBank`) expose a
+    ``core(core_id)`` accessor returning the physical per-core sensor;
+    a plain :class:`Sensor` is its own reader for every core. Callers
+    that read per-core quantities (e.g. LinOpt's power profiling) go
+    through this helper so both kinds plug in unchanged.
+    """
+    accessor = getattr(sensor, "core", None)
+    if callable(accessor):
+        return accessor(core_id)
+    return sensor
+
+
 @dataclass
 class SensorSpec:
-    """Noise/quantisation characteristics of a sensor."""
+    """Noise/quantisation characteristics of a sensor.
+
+    Attributes:
+        noise_sigma: Gaussian noise sigma — in absolute units by
+            default, or as a fraction of the true value when
+            ``relative`` is set (e.g. 0.05 for 5 % reading noise).
+        quantum: Reading quantisation step (0 disables).
+        relative: Interpret ``noise_sigma`` relative to the reading.
+    """
 
     noise_sigma: float = 0.0
     quantum: float = 0.0
+    relative: bool = False
 
     def __post_init__(self) -> None:
         if self.noise_sigma < 0 or self.quantum < 0:
@@ -40,7 +87,9 @@ class Sensor:
         """Observe a true value through the sensor."""
         value = float(true_value)
         if self.spec.noise_sigma > 0:
-            value += self.spec.noise_sigma * float(self._rng.standard_normal())
+            scale = abs(float(true_value)) if self.spec.relative else 1.0
+            value += (self.spec.noise_sigma * scale
+                      * float(self._rng.standard_normal()))
         if self.spec.quantum > 0:
             value = round(value / self.spec.quantum) * self.spec.quantum
         return value

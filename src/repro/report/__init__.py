@@ -1,11 +1,12 @@
 """Terminal chart rendering and result serialisation."""
 
-from .ascii import bar_chart, histogram_chart, line_chart
+from .ascii import bar_chart, event_timeline, histogram_chart, line_chart
 from .serialize import dump_result, load_result, to_jsonable
 
 __all__ = [
     "bar_chart",
     "dump_result",
+    "event_timeline",
     "histogram_chart",
     "line_chart",
     "load_result",

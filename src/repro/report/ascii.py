@@ -118,6 +118,51 @@ def line_chart(
     return "\n".join(lines)
 
 
+def event_timeline(
+    duration_s: float,
+    rows: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Event times marked on a shared horizontal time axis.
+
+    Args:
+        duration_s: Axis length (seconds); events beyond it are drawn
+            at the right edge.
+        rows: Mapping of row label to the event timestamps to mark
+            (e.g. fault strikes, watchdog triggers). A row with no
+            events renders as an empty lane.
+        title: Optional heading.
+        width: Axis width in characters.
+
+    Returns:
+        The rendered timeline as a multi-line string.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if not rows:
+        raise ValueError("nothing to chart")
+    if width < 10:
+        raise ValueError("axis too narrow")
+    label_w = max(len(str(name)) for name in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, times in rows.items():
+        lane = [" "] * width
+        for t in times:
+            col = int(min(max(float(t) / duration_s, 0.0), 1.0)
+                      * (width - 1))
+            lane[col] = "*" if lane[col] == " " else "#"
+        count = len(list(times))
+        lines.append(f"{str(name):>{label_w}} |{''.join(lane)}| "
+                     f"({count})")
+    axis_lo, axis_hi = "0s", f"{duration_s:g}s"
+    lines.append(" " * (label_w + 2) + axis_lo + " " * max(
+        width - len(axis_lo) - len(axis_hi), 1) + axis_hi)
+    return "\n".join(lines)
+
+
 def histogram_chart(values: Sequence[float], n_bins: int = 8,
                     title: str = "", width: int = 40) -> str:
     """Paper-style histogram (Figure 4) as horizontal bars."""

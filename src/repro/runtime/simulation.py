@@ -10,11 +10,12 @@ DVFS interval.
 
 The steady-state system evaluation is memoryless: between two
 consecutive *events* — a phase boundary of any application, a
-power-manager invocation, or an OS reschedule — the operating point is
-constant, so the leakage-temperature fixed point needs to be solved
-only once per event rather than once per sensor sample. The simulation
-therefore builds each application's phase-boundary timeline up front,
-advances event to event with a single cached
+power-manager invocation, an OS reschedule, a fault strike or a
+watchdog emergency — the operating point is constant, so the
+leakage-temperature fixed point needs to be solved only once per event
+rather than once per sensor sample. The simulation therefore builds
+each application's phase-boundary timeline up front, advances event to
+event with a single cached
 :class:`~repro.runtime.evaluation.SystemState`, and fills the 1 ms
 sensor samples in between from that cached state. A per-millisecond
 reference loop (``mode="dense"``) is kept for validation and
@@ -28,12 +29,26 @@ that stepped a core by ``k`` levels sees that core's committed work
 scaled by ``1 - k * latency / sample period``. Thread migrations pay
 the same per-level accounting (a conservative proxy for cache-warmup
 cost), with a minimum of one level per migrated thread.
+
+**Faults and graceful degradation.** The simulation optionally runs a
+:class:`repro.faults.FaultSchedule` (sensor, core and manager faults
+applied as simulated time passes), samples chip power through a
+per-core :class:`repro.faults.SensorBank`, and arms a
+:class:`repro.faults.PowerWatchdog` that fires an emergency
+Foxton*-style round-robin step-down when the *sensed* power stays
+above ``Ptarget`` plus a guard band for K consecutive samples —
+exactly the between-invocations protection a hardware controller
+provides. Core-offline faults force a reschedule of the stranded
+thread onto the fastest surviving free core through the existing
+migration path. All three hooks default to ``None`` and the fault
+layer is then completely transparent: traces are bit-identical to a
+build without it. Fault injection requires ``mode="event"``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -45,6 +60,7 @@ from ..workloads import PhasedApplication, Workload
 from .evaluation import Assignment, evaluate_levels
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..faults import FaultEvent, FaultSchedule, PowerWatchdog, SensorBank
     from ..pm.base import PowerManager
 
 # Sensor sampling period (s): power deviation is recorded at this rate.
@@ -61,18 +77,27 @@ class SimulationTrace:
 
     Attributes:
         times_s: Sample timestamps.
-        power_w: Total chip power at each sample.
+        power_w: Total chip power at each sample (ground truth).
         p_target_w: The power budget in force.
         throughput_mips: Aggregate throughput at each sample (net of
             work lost to V/f transitions and migrations).
         manager_runs: Timestamps of power-manager invocations.
         transition_time_s: Total core-time lost to DVFS transitions
-            and migrations.
-        migrations: Number of thread migrations performed.
+            and migrations (including watchdog emergencies).
+        migrations: Number of thread migrations performed (OS
+            reschedules and core-offline evacuations).
         level_transitions: Total DVFS levels stepped across the run
             (including the per-migration minimum); equals
             ``transition_time_s / transition_latency_s`` when the
             latency is non-zero.
+        sensed_power_w: Chip power as sampled through the (possibly
+            faulty) sensor bank; ``None`` when no bank or watchdog was
+            configured.
+        watchdog_triggers: Timestamps of emergency watchdog step-downs.
+        fault_events: The fault events actually applied during the run.
+        fallback_activations: Manager invocations decided below the
+            primary tier (``resilience_tier > 0`` in the manager's
+            stats — see :class:`repro.faults.ResilientManager`).
     """
 
     times_s: np.ndarray
@@ -84,6 +109,10 @@ class SimulationTrace:
     transition_time_s: float
     migrations: int
     level_transitions: int = 0
+    sensed_power_w: Optional[np.ndarray] = None
+    watchdog_triggers: Tuple[float, ...] = ()
+    fault_events: Tuple["FaultEvent", ...] = ()
+    fallback_activations: int = 0
 
     @property
     def mean_abs_deviation_pct(self) -> float:
@@ -95,6 +124,11 @@ class SimulationTrace:
         """
         dev = np.abs(self.power_w - self.p_target_w)
         return float(dev.mean() / self.p_target_w * 100.0)
+
+    @property
+    def overshoot_fraction(self) -> float:
+        """Fraction of samples with true power above Ptarget."""
+        return float(np.mean(self.power_w > self.p_target_w))
 
     @property
     def mean_power_w(self) -> float:
@@ -124,6 +158,19 @@ class SimulationTrace:
         return self.mean_power_w / tp ** 3
 
 
+@dataclass
+class _FaultRuntime:
+    """Mutable per-run fault state (event loop bookkeeping)."""
+
+    events: List["FaultEvent"] = field(default_factory=list)
+    event_steps: List[int] = field(default_factory=list)
+    next_event: int = 0
+    applied: List["FaultEvent"] = field(default_factory=list)
+    dead_cores: Set[int] = field(default_factory=set)
+    core_caps: Dict[int, int] = field(default_factory=dict)
+    skip_next_manager: bool = False
+
+
 class OnlineSimulation:
     """Event-driven execution of a phased workload under a manager.
 
@@ -140,6 +187,13 @@ class OnlineSimulation:
             Zero disables transition accounting entirely (useful for
             ablations and for validating the event-driven loop against
             the dense reference).
+        faults: Optional fault schedule applied as time passes
+            (sensor faults require ``sensor_bank``).
+        sensor_bank: Optional per-core sensor bank the chip power is
+            sampled through (the watchdog's measurement path, and the
+            target of sensor faults).
+        watchdog: Optional emergency power watchdog run on every
+            sensor sample between manager invocations.
     """
 
     def __init__(
@@ -155,6 +209,9 @@ class OnlineSimulation:
         policy=None,
         os_interval_s: Optional[float] = None,
         transition_latency_s: float = TRANSITION_LATENCY_PER_LEVEL_S,
+        faults: Optional["FaultSchedule"] = None,
+        sensor_bank: Optional["SensorBank"] = None,
+        watchdog: Optional["PowerWatchdog"] = None,
     ) -> None:
         if (policy is None) != (os_interval_s is None):
             raise ValueError("policy and os_interval_s go together")
@@ -175,12 +232,25 @@ class OnlineSimulation:
         self.policy = policy
         self.os_interval_s = os_interval_s
         self.transition_latency_s = transition_latency_s
+        self.faults = faults
+        self.sensor_bank = sensor_bank
+        self.watchdog = watchdog
+        if faults is not None and sensor_bank is None and any(
+                e.kind.startswith("sensor") for e in faults):
+            raise ValueError(
+                "a FaultSchedule with sensor faults needs a sensor_bank")
         self._policy_rng = np.random.default_rng([phase_seed, 0x05])
         self.phased = [
             PhasedApplication(app, seed=i * 1000 + phase_seed,
                               sigma=phase_sigma, mean_phase_s=mean_phase_s)
             for i, app in enumerate(workload)
         ]
+
+    @property
+    def _faulty(self) -> bool:
+        """Whether any fault-layer hook is configured."""
+        return (self.faults is not None or self.sensor_bank is not None
+                or self.watchdog is not None)
 
     def _multipliers(self, time_s: float) -> Tuple[np.ndarray, np.ndarray]:
         ipc_mult = np.empty(len(self.phased))
@@ -243,6 +313,11 @@ class OnlineSimulation:
         return (lossy.throughput_mips,
                 lossy.weighted_throughput(self.workload))
 
+    def _thread_tops(self, assignment: Assignment) -> List[int]:
+        """Per-thread top DVFS level under the current assignment."""
+        return [self.chip.cores[c].vf_table.n_levels - 1
+                for c in assignment.core_of]
+
     def run(self, duration_s: float, dvfs_interval_s: float,
             mode: str = "event") -> SimulationTrace:
         """Simulate ``duration_s`` with the manager run at an interval.
@@ -254,7 +329,9 @@ class OnlineSimulation:
             mode: ``"event"`` (default) advances between events with a
                 cached system state; ``"dense"`` re-evaluates every
                 sensor sample (the reference loop — identical traces,
-                ~an order of magnitude more fixed-point solves).
+                ~an order of magnitude more fixed-point solves). Fault
+                injection, sensor banks and the watchdog require
+                ``"event"``.
 
         Returns:
             A :class:`SimulationTrace`.
@@ -263,6 +340,8 @@ class OnlineSimulation:
             raise ValueError("duration and interval must be positive")
         if mode not in ("event", "dense"):
             raise ValueError("mode must be 'event' or 'dense'")
+        if mode == "dense" and self._faulty:
+            raise ValueError("fault injection requires mode='event'")
         n_steps = int(round(duration_s / SENSOR_PERIOD_S))
         times = np.arange(n_steps) * SENSOR_PERIOD_S
         ipc_grid, ceff_grid = self._multiplier_grid(times)
@@ -277,10 +356,14 @@ class OnlineSimulation:
     # ------------------------------------------------------------------
 
     def _os_reschedule(self, t: float, assignment: Assignment,
+                       dead_cores: Optional[Set[int]] = None,
                        ) -> Tuple[Assignment, Tuple[int, ...]]:
         """Run the OS policy; returns (assignment, migrated threads)."""
         new_assignment = self.policy.assign_with_profiling(
             self.chip, self.workload, self._policy_rng)
+        if dead_cores:
+            new_assignment, _ = self._remap_off_dead(new_assignment,
+                                                     dead_cores)
         if new_assignment.core_of == assignment.core_of:
             return assignment, ()
         migrated = tuple(
@@ -288,6 +371,112 @@ class OnlineSimulation:
                                              assignment.core_of))
             if a != b)
         return new_assignment, migrated
+
+    def _remap_off_dead(self, assignment: Assignment,
+                        dead_cores: Set[int],
+                        ) -> Tuple[Assignment, Tuple[int, ...]]:
+        """Evacuate threads from dead cores onto surviving spares.
+
+        Each stranded thread moves to the fastest alive core not
+        currently hosting a thread (deterministic, fmax-greedy — the
+        same ranking VarF uses). With no spare left the thread stays
+        put; the caller pins the dead core's V/f at the floor via its
+        level cap, which is the best that can be done short of
+        dropping the thread.
+        """
+        core_of = list(assignment.core_of)
+        used = set(core_of)
+        moved: List[int] = []
+        for i, core in enumerate(core_of):
+            if core not in dead_cores:
+                continue
+            spares = [c for c in range(self.chip.n_cores)
+                      if c not in dead_cores and c not in used]
+            if not spares:
+                continue
+            spare = max(spares,
+                        key=lambda c: self.chip.cores[c].vf_table.fmax)
+            used.discard(core)
+            used.add(spare)
+            core_of[i] = spare
+            moved.append(i)
+        if not moved:
+            return assignment, ()
+        return Assignment(tuple(core_of)), tuple(moved)
+
+    def _clamp_levels(self, levels: List[int], assignment: Assignment,
+                      fr: "_FaultRuntime",
+                      watchdog: Optional["PowerWatchdog"],
+                      ) -> List[int]:
+        """Apply droop caps and watchdog emergency caps to levels."""
+        if fr.core_caps:
+            levels = [min(lv, fr.core_caps.get(c, lv))
+                      for lv, c in zip(levels, assignment.core_of)]
+        if watchdog is not None:
+            levels = watchdog.clamp(levels)
+        return levels
+
+    # ------------------------------------------------------------------
+    # Fault application (event mode only)
+    # ------------------------------------------------------------------
+
+    def _build_fault_runtime(self, times: np.ndarray) -> "_FaultRuntime":
+        """Precompute the sample index at which each fault strikes."""
+        fr = _FaultRuntime()
+        if self.faults is None:
+            return fr
+        for event in self.faults:
+            step = int(np.searchsorted(times, event.time_s - _TIME_EPS,
+                                       side="left"))
+            if step >= times.size:
+                continue  # beyond the simulated horizon
+            fr.events.append(event)
+            fr.event_steps.append(step)
+        return fr
+
+    def _apply_fault(self, event: "FaultEvent", fr: "_FaultRuntime",
+                     assignment: Assignment,
+                     ) -> Tuple[Assignment, Tuple[int, ...], bool]:
+        """Apply one fault event; returns (assignment, migrated, force).
+
+        ``force`` requests an immediate manager re-decision (the
+        operating point or thread map changed under the manager's
+        feet).
+        """
+        from ..faults.schedule import (
+            CORE_DROOP,
+            CORE_OFFLINE,
+            MANAGER_KINDS,
+        )
+        fr.applied.append(event)
+        migrated: Tuple[int, ...] = ()
+        force = False
+        if event.kind.startswith("sensor"):
+            self.sensor_bank.apply(event)
+        elif event.kind == CORE_DROOP:
+            top = self.chip.cores[event.target].vf_table.n_levels - 1
+            current = fr.core_caps.get(event.target, top)
+            fr.core_caps[event.target] = max(
+                current - int(event.param), 0)
+            force = event.target in assignment.core_of
+        elif event.kind == CORE_OFFLINE:
+            fr.dead_cores.add(event.target)
+            # A dead core that cannot be evacuated is at least parked
+            # at its V/f floor.
+            fr.core_caps[event.target] = 0
+            if event.target in assignment.core_of:
+                assignment, migrated = self._remap_off_dead(
+                    assignment, fr.dead_cores)
+                force = True
+        elif event.kind in MANAGER_KINDS:
+            inject = getattr(self.manager, "inject_failure", None)
+            if callable(inject):
+                inject(event.kind)
+            else:
+                # A plain manager has no failure model: the invocation
+                # is simply lost and the previous levels persist.
+                fr.skip_next_manager = True
+        return assignment, migrated, force
 
     # ------------------------------------------------------------------
     # Event-driven loop
@@ -306,6 +495,16 @@ class OnlineSimulation:
         transition_time = 0.0
         level_transitions = 0
         migrations = 0
+        fallback_activations = 0
+
+        bank = self.sensor_bank
+        watchdog = self.watchdog
+        sensed: Optional[np.ndarray] = None
+        if bank is not None or watchdog is not None:
+            sensed = np.empty(n_steps)
+        if watchdog is not None:
+            watchdog.reset(self.assignment.n_threads)
+        fr = self._build_fault_runtime(times)
 
         # Steps at which any application's multipliers change.
         changed = np.zeros(n_steps, dtype=bool)
@@ -328,46 +527,86 @@ class OnlineSimulation:
         next_manager_t = 0.0
         next_os_t = (self.os_interval_s
                      if self.os_interval_s is not None else None)
+        pending_lossy: Optional[List[int]] = None
         step = 0
         while step < n_steps:
             t = times[step]
             ipc_mult = ipc_grid[step]
             ceff_mult = ceff_grid[step]
             migrated: Tuple[int, ...] = ()
+            # --- Apply fault events due at this sample. ---
+            while (fr.next_event < len(fr.events)
+                   and fr.event_steps[fr.next_event] <= step):
+                event = fr.events[fr.next_event]
+                fr.next_event += 1
+                assignment, moved, force = self._apply_fault(
+                    event, fr, assignment)
+                if moved:
+                    migrations += len(moved)
+                    migrated = migrated + moved
+                if force:
+                    # Operating point or map changed under the
+                    # manager: re-decide now, cold-started.
+                    levels = None
+                    state = None
+                    next_manager_t = t
             if next_os_t is not None and t >= next_os_t - _TIME_EPS:
-                assignment, migrated = self._os_reschedule(t, assignment)
-                if migrated:
-                    migrations += len(migrated)
+                assignment, moved = self._os_reschedule(
+                    t, assignment, fr.dead_cores)
+                if moved:
+                    migrations += len(moved)
+                    migrated = migrated + moved
                     # Force a fresh manager decision for the new map.
                     levels = None
                     next_manager_t = t
                 next_os_t += self.os_interval_s
             stepped: Optional[List[int]] = None
             if t >= next_manager_t - _TIME_EPS:
-                kwargs = dict(ipc_multipliers=ipc_mult,
-                              ceff_multipliers=ceff_mult)
-                if levels is not None:
-                    # Warm start from the current operating point.
-                    kwargs.update(initial_levels=levels,
-                                  initial_state=state)
-                result = self.manager.set_levels(
-                    self.chip, self.workload, assignment, self.env,
-                    **kwargs)
-                new_levels = list(result.levels)
-                if prev_levels is not None:
-                    stepped = self._transition_steps(prev_levels,
-                                                     new_levels, migrated)
-                    n_stepped = sum(stepped)
-                    level_transitions += n_stepped
-                    transition_time += (
-                        n_stepped * self.transition_latency_s)
-                    if n_stepped == 0:
-                        stepped = None
-                levels = new_levels
-                prev_levels = list(new_levels)
-                manager_runs.append(t)
-                next_manager_t += dvfs_interval_s
-                state = None  # operating point changed
+                if fr.skip_next_manager:
+                    # Injected manager fault on a chain-less manager:
+                    # the decision is lost, previous levels persist.
+                    fr.skip_next_manager = False
+                    if levels is None:
+                        levels = self._thread_tops(assignment)
+                        levels = self._clamp_levels(levels, assignment,
+                                                    fr, watchdog)
+                        prev_levels = list(levels)
+                        state = None
+                    next_manager_t += dvfs_interval_s
+                else:
+                    kwargs = dict(ipc_multipliers=ipc_mult,
+                                  ceff_multipliers=ceff_mult)
+                    if levels is not None:
+                        # Warm start from the current operating point.
+                        kwargs.update(initial_levels=levels,
+                                      initial_state=state)
+                    result = self.manager.set_levels(
+                        self.chip, self.workload, assignment, self.env,
+                        **kwargs)
+                    if result.stats.get("resilience_tier", 0.0) > 0:
+                        fallback_activations += 1
+                    new_levels = list(result.levels)
+                    if self._faulty:
+                        if watchdog is not None:
+                            watchdog.on_manager_invocation(
+                                self._thread_tops(assignment))
+                        new_levels = self._clamp_levels(
+                            new_levels, assignment, fr, watchdog)
+                    if prev_levels is not None:
+                        stepped = self._transition_steps(prev_levels,
+                                                         new_levels,
+                                                         migrated)
+                        n_stepped = sum(stepped)
+                        level_transitions += n_stepped
+                        transition_time += (
+                            n_stepped * self.transition_latency_s)
+                        if n_stepped == 0:
+                            stepped = None
+                    levels = new_levels
+                    prev_levels = list(new_levels)
+                    manager_runs.append(t)
+                    next_manager_t += dvfs_interval_s
+                    state = None  # operating point changed
             if state is None or changed[step]:
                 state = evaluate_levels(self.chip, self.workload,
                                         assignment, levels,
@@ -382,11 +621,52 @@ class OnlineSimulation:
             nxt = min(nxt, next_timer_step(next_manager_t, step))
             if next_os_t is not None:
                 nxt = min(nxt, next_timer_step(next_os_t, step))
+            if fr.next_event < len(fr.events):
+                nxt = min(nxt, max(fr.event_steps[fr.next_event],
+                                   step + 1))
             power[step:nxt] = state.total_power
             tput[step:nxt] = state.throughput_mips
             wtput[step:nxt] = state.weighted_throughput(self.workload)
+            if pending_lossy is not None:
+                if stepped is None:
+                    stepped = pending_lossy
+                else:
+                    stepped = [a + b for a, b in zip(stepped,
+                                                     pending_lossy)]
+                pending_lossy = None
             if stepped is not None and self.transition_latency_s > 0:
                 tput[step], wtput[step] = self._lossy_sample(state, stepped)
+            # --- Sensor sampling and watchdog over the span. ---
+            if sensed is not None:
+                s = step
+                while s < nxt:
+                    if bank is not None:
+                        bank.advance(times[s])
+                        view = bank.read_chip(assignment.core_of,
+                                              state.core_power,
+                                              state.l2_power)
+                    else:
+                        view = state.total_power
+                    sensed[s] = view
+                    if (watchdog is not None and levels is not None
+                            and watchdog.observe(times[s], view,
+                                                 p_target)):
+                        new_levels, victim = (
+                            watchdog.emergency_step_down(levels))
+                        if victim >= 0:
+                            em = [abs(a - b) for a, b in
+                                  zip(levels, new_levels)]
+                            n_em = sum(em)
+                            level_transitions += n_em
+                            transition_time += (
+                                n_em * self.transition_latency_s)
+                            levels = new_levels
+                            prev_levels = list(new_levels)
+                            pending_lossy = em
+                            state = None
+                            nxt = s + 1
+                            break
+                    s += 1
             step = nxt
         return SimulationTrace(
             times_s=times,
@@ -398,6 +678,11 @@ class OnlineSimulation:
             transition_time_s=transition_time,
             migrations=migrations,
             level_transitions=level_transitions,
+            sensed_power_w=sensed,
+            watchdog_triggers=(tuple(watchdog.triggers)
+                               if watchdog is not None else ()),
+            fault_events=tuple(fr.applied),
+            fallback_activations=fallback_activations,
         )
 
     # ------------------------------------------------------------------
@@ -412,7 +697,8 @@ class OnlineSimulation:
         Semantically identical to the event-driven loop (same manager
         invocations, same evaluations at events) but re-solves the
         leakage-temperature fixed point at every sensor sample. Kept
-        for validation and for the perf benchmark's baseline.
+        for validation and for the perf benchmark's baseline. Does not
+        support the fault layer (``run`` rejects that combination).
         """
         n_steps = times.size
         p_target = self.env.p_target(self.assignment.n_threads,

@@ -34,7 +34,8 @@ class TestRegistry:
         figures = {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
                    "fig10", "fig11", "fig12", "fig13", "fig14",
                    "fig15", "table5"}
-        extensions = {"ext-parallel", "ext-aging", "ext-abb"}
+        extensions = {"ext-parallel", "ext-aging", "ext-abb",
+                      "ext-faults"}
         assert set(EXPERIMENTS) == figures | extensions
 
     def test_every_module_has_run(self):

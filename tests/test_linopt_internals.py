@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.config import COST_PERFORMANCE, LOW_POWER
-from repro.pm import LinOpt, LinOptConfig, fit_power_lines
-from repro.power import PowerSensor
+from repro.pm import (LinOpt, LinOptConfig, fit_power_lines,
+                      meets_constraints)
+from repro.power import (IpcSensor, PowerSensor, SensorSpec,
+                         independent_rngs)
 from repro.runtime import Assignment, evaluate_max_levels
 from repro.sched import VarFAppIPC
 from repro.workloads import Workload, get_app, make_workload
@@ -75,6 +77,134 @@ class TestFitPowerLines:
         v = chip.cores[asg.core_of[0]].vf_table.vmax
         assert (hot.slope[0] * v + hot.intercept[0]
                 > cold.slope[0] * v + cold.intercept[0])
+
+
+class _OneLevelTable:
+    """A V/f table offering exactly one operating point."""
+
+    def __init__(self, v: float = 0.9, f: float = 2.0e9) -> None:
+        self.voltages = np.array([v])
+        self.freqs = np.array([f])
+        self.n_levels = 1
+        self.vmin = v
+        self.vmax = v
+
+    def nearest_level_at_most(self, v: float) -> int:
+        return 0
+
+
+class _FlatLeakage:
+    """Temperature/voltage-independent leakage stub."""
+
+    def power(self, v: float, temp_k: float) -> float:
+        return 0.5
+
+
+class _OneLevelCore:
+    """A core whose V/f table has collapsed to a single point."""
+
+    def __init__(self) -> None:
+        self.vf_table = _OneLevelTable()
+        self.leakage = _FlatLeakage()
+
+
+class _OneLevelChip:
+    """Minimal chip stand-in: one core, one V/f level."""
+
+    n_cores = 1
+
+    def __init__(self) -> None:
+        self.cores = [_OneLevelCore()]
+
+
+class TestFitPowerLinesDegenerate:
+    """A one-level V/f table yields a single (V, p) profiling point; the
+    fit must fall back to a flat line instead of feeding ``np.polyfit``
+    a singular one-point system (which emits a RankWarning and garbage
+    coefficients)."""
+
+    def test_single_point_window_flat_fallback(self):
+        chip = _OneLevelChip()
+        wl = Workload((get_app("bzip2"),))
+        asg = Assignment((0,))
+        fit = fit_power_lines(chip, wl, asg, np.array([350.0]), 3,
+                              PowerSensor())
+        table = chip.cores[0].vf_table
+        expected = (wl[0].dynamic_power_at(float(table.voltages[0]),
+                                           float(table.freqs[0]))
+                    + 0.5)
+        assert fit.slope[0] == 0.0
+        assert fit.intercept[0] == pytest.approx(expected)
+
+    def test_local_window_on_one_level_table(self):
+        chip = _OneLevelChip()
+        wl = Workload((get_app("bzip2"),))
+        asg = Assignment((0,))
+        fit = fit_power_lines(chip, wl, asg, np.array([350.0]), 3,
+                              PowerSensor(), center_levels=[0],
+                              span_levels=2)
+        assert fit.slope[0] == 0.0
+        assert np.isfinite(fit.intercept[0])
+
+
+class TestSensorStreams:
+    """Regression for the default-sensor seeding: LinOpt's power and
+    IPC sensors must draw from *independent* child streams of one
+    parent seed, not two copies of ``default_rng(0)``."""
+
+    def test_default_sensors_not_correlated(self):
+        mgr = LinOpt()
+        power_draws = mgr.power_sensor._rng.standard_normal(8)
+        ipc_draws = mgr.ipc_sensor._rng.standard_normal(8)
+        assert not np.allclose(power_draws, ipc_draws)
+
+    def test_default_sensors_reproducible(self):
+        a, b = LinOpt(), LinOpt()
+        np.testing.assert_array_equal(a.power_sensor._rng.standard_normal(8),
+                                      b.power_sensor._rng.standard_normal(8))
+        np.testing.assert_array_equal(a.ipc_sensor._rng.standard_normal(8),
+                                      b.ipc_sensor._rng.standard_normal(8))
+
+    def test_independent_rngs_distinct_and_reproducible(self):
+        first = independent_rngs(3, seed=5)
+        again = independent_rngs(3, seed=5)
+        draws = [r.standard_normal(4) for r in first]
+        for i in range(3):
+            np.testing.assert_array_equal(
+                draws[i], again[i].standard_normal(4))
+            for j in range(i + 1, 3):
+                assert not np.allclose(draws[i], draws[j])
+
+
+class TestNoisyLinOptFeasibility:
+    """Property: because the correction loop evaluates *true* system
+    states, LinOpt never returns an over-budget operating point no
+    matter how noisy its sensors are — noise only costs corrections."""
+
+    SIGMAS = (0.0, 0.05, 0.2)
+    SEEDS = (3, 7, 11, 13, 17)
+
+    def test_feasible_under_noise_and_corrections_grow(self, chip, rng):
+        wl = make_workload(8, rng)
+        asg = VarFAppIPC().assign_with_profiling(chip, wl, rng)
+        p_target = LOW_POWER.p_target(8, chip.n_cores)
+        total_corrections = {}
+        for sigma in self.SIGMAS:
+            total = 0.0
+            for seed in self.SEEDS:
+                p_rng, i_rng = independent_rngs(2, seed=seed)
+                spec = SensorSpec(noise_sigma=sigma, relative=True)
+                mgr = LinOpt(LinOptConfig(n_iterations=2),
+                             power_sensor=PowerSensor(spec, p_rng),
+                             ipc_sensor=IpcSensor(spec, i_rng))
+                res = mgr.set_levels(chip, wl, asg, LOW_POWER)
+                assert meets_constraints(res.state, p_target,
+                                         LOW_POWER.p_core_max)
+                total += res.stats["corrections"]
+            total_corrections[sigma] = total
+        assert (total_corrections[0.0] <= total_corrections[0.05]
+                <= total_corrections[0.2])
+        assert total_corrections[0.2] > total_corrections[0.0]
 
 
 class TestLinOptBehaviour:
