@@ -1,0 +1,28 @@
+# Developer entry points. All targets run from the repo root.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench bench-gate bench-baseline coverage
+
+test:
+	$(PYTHON) -m pytest -x -q -W error::RuntimeWarning
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
+
+# Quick benchmark suite: regenerates benchmarks/results/*.txt and the
+# machine-readable BENCH_*.json records. REPRO_FULL=1 for paper sizes.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Compare the BENCH_*.json records against the committed baseline.
+bench-gate:
+	$(PYTHON) benchmarks/perf_gate.py check
+
+# Refresh benchmarks/baseline.json from a fresh quick run; commit the
+# result whenever figure metrics legitimately change.
+bench-baseline: bench
+	$(PYTHON) benchmarks/perf_gate.py update
+
+coverage:
+	$(PYTHON) -m pytest --cov=repro --cov-report=term --cov-report=html

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the machine-readable benchmark records.
+
+Every benchmark writes ``benchmarks/results/BENCH_<name>.json`` (see
+``benchmarks/conftest.py::emit``).  This stdlib-only script compares
+those records against the committed ``benchmarks/baseline.json``:
+
+* ``check`` — fail (exit 1) when a baselined benchmark is missing,
+  when its wall time regresses more than ``--max-regression`` (30 %
+  by default; walls under the noise floor are skipped), or when a
+  deterministic figure metric drifts beyond ``--rtol``;
+* ``update`` — regenerate the baseline from the current records
+  (run ``make bench-baseline``; commit the result).
+
+Timing-derived metrics (keys ending in ``_s``, ``speedup_*``,
+``available_workers``) are machine-dependent and never checked for
+drift.  Records taken at a different ``REPRO_FULL`` setting than the
+baseline are skipped, not compared.  Escape hatches:
+``PERF_GATE_SKIP_WALL=1`` disables the wall-time check (e.g. on
+heavily loaded or exotic runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import sys
+from typing import Any, Dict, List
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_RESULTS = HERE / "results"
+DEFAULT_BASELINE = HERE / "baseline.json"
+
+# Walls shorter than this are dominated by interpreter/IO jitter; a
+# 30 % check on a 50 ms benchmark only produces noise.
+WALL_FLOOR_S = 0.2
+
+VOLATILE_KEYS = ("available_workers",)
+VOLATILE_SUFFIXES = ("_s",)
+VOLATILE_PREFIXES = ("speedup_",)
+
+
+def is_volatile(key: str) -> bool:
+    """Machine-dependent metrics exempt from the drift check."""
+    return (key in VOLATILE_KEYS
+            or key.endswith(VOLATILE_SUFFIXES)
+            or key.startswith(VOLATILE_PREFIXES))
+
+
+def load_records(results_dir: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+    records = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        record = json.loads(path.read_text())
+        records[record["name"]] = record
+    return records
+
+
+def close(a: Any, b: Any, rtol: float) -> bool:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return math.isclose(a, b, rel_tol=rtol, abs_tol=1e-12)
+    return a == b
+
+
+def check(records: Dict[str, Dict[str, Any]],
+          baseline: Dict[str, Dict[str, Any]],
+          max_regression: float, rtol: float) -> int:
+    failures: List[str] = []
+    warnings: List[str] = []
+    skip_wall = os.environ.get("PERF_GATE_SKIP_WALL", "") not in ("", "0")
+
+    for name, base in sorted(baseline.items()):
+        record = records.get(name)
+        if record is None:
+            failures.append(f"{name}: no BENCH_{name}.json in results "
+                            "(benchmark removed or did not run)")
+            continue
+        if record.get("full_run") != base.get("full_run"):
+            warnings.append(f"{name}: REPRO_FULL mismatch vs baseline; "
+                            "skipped")
+            continue
+
+        base_wall = base.get("wall_time_s")
+        wall = record.get("wall_time_s")
+        if (not skip_wall and isinstance(base_wall, (int, float))
+                and isinstance(wall, (int, float))
+                and base_wall >= WALL_FLOOR_S):
+            limit = base_wall * (1.0 + max_regression)
+            if wall > limit:
+                failures.append(
+                    f"{name}: wall time {wall:.3f}s exceeds "
+                    f"{base_wall:.3f}s baseline by more than "
+                    f"{max_regression:.0%} (limit {limit:.3f}s)")
+
+        base_metrics = base.get("metrics", {})
+        metrics = record.get("metrics", {})
+        for key, expected in sorted(base_metrics.items()):
+            if is_volatile(key):
+                continue
+            if key not in metrics:
+                failures.append(f"{name}: metric {key!r} missing "
+                                "(was in baseline)")
+            elif not close(metrics[key], expected, rtol):
+                failures.append(
+                    f"{name}: metric {key!r} drifted: "
+                    f"{metrics[key]!r} vs baseline {expected!r} "
+                    f"(rtol {rtol:g})")
+        for key in sorted(set(metrics) - set(base_metrics)):
+            if not is_volatile(key):
+                warnings.append(f"{name}: new metric {key!r} not in "
+                                "baseline (refresh with 'make "
+                                "bench-baseline')")
+
+    for name in sorted(set(records) - set(baseline)):
+        warnings.append(f"{name}: not in baseline (refresh with "
+                        "'make bench-baseline')")
+
+    for line in warnings:
+        print(f"WARN  {line}")
+    for line in failures:
+        print(f"FAIL  {line}")
+    checked = len(set(baseline) & set(records))
+    print(f"perf gate: {checked} benchmark(s) checked, "
+          f"{len(failures)} failure(s), {len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+def update(records: Dict[str, Dict[str, Any]],
+           baseline_path: pathlib.Path) -> int:
+    if not records:
+        print("perf gate: no BENCH_*.json records to baseline "
+              "(run the benchmarks first)")
+        return 1
+    baseline_path.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n")
+    print(f"perf gate: baselined {len(records)} benchmark(s) "
+          f"-> {baseline_path}")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("check", "update"))
+    parser.add_argument("--results", type=pathlib.Path,
+                        default=DEFAULT_RESULTS,
+                        help="directory holding BENCH_*.json records")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help="committed baseline file")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional wall-time regression")
+    parser.add_argument("--rtol", type=float, default=1e-3,
+                        help="relative tolerance for figure metrics")
+    args = parser.parse_args(argv)
+
+    records = load_records(args.results)
+    if args.mode == "update":
+        return update(records, args.baseline)
+    if not args.baseline.exists():
+        print(f"perf gate: baseline {args.baseline} missing "
+              "(run 'make bench-baseline' and commit it)")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    return check(records, baseline, args.max_regression, args.rtol)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,8 @@ def test_ablation_power_fit_variants(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: ablations.run_fit_ablation(n_trials=3, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ablation_fit", result.format_table())
+    emit(results_dir, "ablation_fit", result.format_table(),
+         benchmark=benchmark, metrics=result.values)
 
     three = result.values["3-point fit, floor"]
     two = result.values["2-point fit, floor"]
@@ -24,7 +25,8 @@ def test_ablation_successive_lp(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: ablations.run_slp_ablation(n_trials=3, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ablation_slp", result.format_table())
+    emit(results_dir, "ablation_slp", result.format_table(),
+         benchmark=benchmark, metrics=result.values)
 
     # The global linearisation of the convex p(V) (pass 1) leaves
     # throughput on the table; successive local passes recover it.
@@ -37,7 +39,8 @@ def test_ablation_thermal_coupling(benchmark, factory, results_dir):
         lambda: ablations.run_thermal_ablation(n_trials=4,
                                                factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ablation_thermal", result.format_table())
+    emit(results_dir, "ablation_thermal", result.format_table(),
+         benchmark=benchmark, metrics=result.values)
 
     # VarP&AppP saves power in both regimes (its ranking inputs do not
     # depend on the thermal package), and heat spreading does not erase

@@ -15,7 +15,12 @@ def test_ext_parallel_applications(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: ext_parallel.run(n_dies=4, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ext_parallel", result.format_table())
+    emit(results_dir, "ext_parallel", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varf_throughput_cv": result.varf_throughput_cv,
+                  "barrier_slack": result.barrier_slack,
+                  "barrier_power_saving": result.barrier_power_saving,
+                  "budget_speedup": result.budget_speedup})
 
     # Performance instability shrinks with VarF mapping.
     assert result.varf_throughput_cv < result.random_throughput_cv
@@ -30,10 +35,13 @@ def test_ext_aging_wearout(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: ext_aging.run(n_epochs=6, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ext_aging", result.format_table())
-
     rand = result.trajectories["Random"]
     varf = result.trajectories["VarF&AppIPC"]
+    emit(results_dir, "ext_aging", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varf_final_freq_ratio": varf.freq_ratio[-1],
+                  "random_final_freq_ratio": rand.freq_ratio[-1],
+                  "varf_final_fmax_ghz": varf.mean_fmax_ghz[-1]})
     # Everyone slows down with age.
     assert varf.mean_fmax_ghz[-1] < varf.mean_fmax_ghz[0]
     # Concentrating load on the fast cores self-levels the spread.
@@ -45,7 +53,12 @@ def test_ext_abb_mitigation(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: ext_abb.run(n_dies=3, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "ext_abb", result.format_table())
+    emit(results_dir, "ext_abb", result.format_table(),
+         benchmark=benchmark,
+         metrics={"freq_ratio_before": result.freq_ratio_before,
+                  "freq_ratio_after": result.freq_ratio_after,
+                  "unifreq_speedup": result.unifreq_speedup,
+                  "varf_gain_after": result.varf_gain_after})
 
     # Humenay et al.: frequency spread shrinks, power spread grows.
     assert result.freq_ratio_after < result.freq_ratio_before - 0.05
@@ -81,7 +94,10 @@ def test_optimal_frozen_reference(benchmark, factory, results_dir):
          "B&B nodes"],
         rows,
         "Reference: LinOpt vs the exact frozen-temperature optimum")
-    emit(results_dir, "optimal_frozen", table)
+    emit(results_dir, "optimal_frozen", table,
+         benchmark=benchmark,
+         metrics={"linopt_vs_foxton_trial0": rows[0][1],
+                  "exact_vs_foxton_trial0": rows[0][2]})
 
     for _, lin, opt, _ in rows:
         # The LP heuristic lands within ~1.5% of the exact optimum.

@@ -15,11 +15,18 @@ from repro.experiments import ext_faults
 
 def test_faults_degradation(benchmark, results_dir):
     result = benchmark.pedantic(ext_faults.run, rounds=1, iterations=1)
-    emit(results_dir, "ext_faults", result.format_table())
-
-    # Degradation is graceful: heavy noise must not collapse throughput.
     clean = result.noise_arms[0]
     noisy = result.noise_arms[-1]
+    emit(results_dir, "ext_faults", result.format_table(),
+         benchmark=benchmark,
+         metrics={"clean_throughput_mips": clean.throughput_mips,
+                  "noisy_throughput_mips": noisy.throughput_mips,
+                  "scenario_watchdog_deviation_pct":
+                  result.scenario.watchdog.deviation_pct,
+                  "scenario_watchdog_triggers":
+                  result.scenario.watchdog.watchdog_triggers})
+
+    # Degradation is graceful: heavy noise must not collapse throughput.
     assert noisy.throughput_mips > 0.9 * clean.throughput_mips
 
     # The seeded scenario's watchdog arm holds deviation within 2x the

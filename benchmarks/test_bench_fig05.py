@@ -12,7 +12,12 @@ def test_fig05_sigma_sweep(benchmark, results_dir):
     result = benchmark.pedantic(
         lambda: fig05_sigma_sweep.run(n_dies=n_dies),
         rounds=1, iterations=1)
-    emit(results_dir, "fig05", result.format_table())
+    emit(results_dir, "fig05", result.format_table(),
+         benchmark=benchmark,
+         metrics={"sigma_over_mu": result.sigma_over_mu,
+                  "freq_ratio": result.freq_ratio,
+                  "power_ratio": result.power_ratio,
+                  "n_dies": n_dies})
 
     # Paper shape: both ratios increase monotonically with sigma/mu,
     # and even sigma/mu = 0.06 shows significant variation.

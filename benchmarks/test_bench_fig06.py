@@ -10,13 +10,16 @@ def test_fig06_power_freq_curves(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: fig06_power_freq.run(factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig06", result.format_table())
 
     # Paper observations: (i) MaxF reaches MinF's top frequency at a
     # much lower voltage and power; (ii) MinF cannot reach MaxF's fmax.
     minf_top_f = max(result.minf_curve.freq_norm)
     p_on_maxf = np.interp(minf_top_f, result.maxf_curve.freq_norm,
                           result.maxf_curve.power_norm)
+    emit(results_dir, "fig06", result.format_table(),
+         benchmark=benchmark,
+         metrics={"minf_top_freq_norm": float(minf_top_f),
+                  "maxf_power_at_minf_top": float(p_on_maxf)})
     assert p_on_maxf < result.minf_curve.power_norm[-1]
     assert minf_top_f < 1.0
 
@@ -31,7 +34,10 @@ def test_fig06_crossover_for_leakage_dominated_app(benchmark, factory,
         lambda: fig06_power_freq.run(die_index=4, app_name="mcf",
                                      factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig06_mcf", result.format_table())
     cross = result.crossover_frequency()
+    emit(results_dir, "fig06_mcf", result.format_table(),
+         benchmark=benchmark,
+         metrics={"crossover_frequency":
+                  None if cross is None else float(cross)})
     assert cross is not None
     assert 0.4 < cross < 0.95  # paper: ~0.74

@@ -13,10 +13,14 @@ def test_fig07_unifreq(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: fig07_unifreq.run(n_trials=n_trials, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig07", result.format_table())
-
     light = result.results[4]
     full = result.results[20]
+    emit(results_dir, "fig07", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varp_power_4t": light["VarP"].power,
+                  "varp_power_20t": full["VarP"].power,
+                  "varp_ed2_4t": light["VarP"].ed2,
+                  "varpappp_power_4t": light["VarP&AppP"].power})
     # Paper: VarP saves ~10% power at 4 threads, ~nothing at 20.
     assert light["VarP"].power < 0.95
     assert full["VarP"].power > 0.95

@@ -13,10 +13,13 @@ def test_fig08_nunifreq_power(benchmark, factory, results_dir):
         lambda: fig08_nunifreq_power.run(n_trials=n_trials,
                                          factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig08", result.format_table())
-
     light = result.results[4]
     full = result.results[20]
+    emit(results_dir, "fig08", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varp_power_4t": light["VarP"].power,
+                  "varp_power_20t": full["VarP"].power,
+                  "varp_ed2_4t": light["VarP"].ed2})
     # Paper: ~14% savings at 4 threads, decreasing with load.
     assert light["VarP"].power < 0.92
     assert full["VarP"].power > light["VarP"].power

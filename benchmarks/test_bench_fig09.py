@@ -14,10 +14,18 @@ def test_fig09_nunifreq_performance(benchmark, factory, results_dir):
         lambda: fig09_nunifreq_perf.run(n_trials=n_trials,
                                         factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig09", result.format_table())
-
     light = result.results[4]
     full = result.results[20]
+    emit(results_dir, "fig09", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varf_freq_4t": light["VarF"].frequency,
+                  "varf_freq_20t": full["VarF"].frequency,
+                  "varfappipc_mips_4t": light["VarF&AppIPC"].mips,
+                  "varfappipc_mips_20t": full["VarF&AppIPC"].mips,
+                  "nunifreq_freq_ratio":
+                  result.nunifreq_vs_unifreq.frequency_ratio,
+                  "nunifreq_ed2_ratio":
+                  result.nunifreq_vs_unifreq.ed2_ratio})
     # Paper: VarF +10% frequency at light load, degenerating to Random
     # at 20 threads; VarF&AppIPC +5-10% MIPS throughout.
     assert light["VarF"].frequency > 1.05

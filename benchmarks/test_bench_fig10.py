@@ -13,9 +13,11 @@ def test_fig10_nunifreq_ed2(benchmark, factory, results_dir):
         lambda: fig10_nunifreq_ed2.run(n_trials=n_trials,
                                        factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig10", result.format_table())
-
     full = result.results[20]
+    emit(results_dir, "fig10", result.format_table(),
+         benchmark=benchmark,
+         metrics={"varfappipc_ed2_20t": full["VarF&AppIPC"].ed2,
+                  "varf_ed2_20t": full["VarF"].ed2})
     # Paper: at 8-20 threads VarF&AppIPC cuts ED^2 by 10-13%.
     assert full["VarF&AppIPC"].ed2 < 0.97
     # And always at least matches VarF (its throughput is higher for

@@ -14,7 +14,12 @@ def test_fig11_dvfs_cost_performance(benchmark, factory, results_dir):
         lambda: fig11_dvfs.run(n_trials=n_trials, factory=factory,
                                protocol="online"),
         rounds=1, iterations=1)
-    emit(results_dir, "fig11", result.format_table())
+    metrics = {}
+    for nt, per in result.results.items():
+        metrics[f"linopt_mips_{nt}t"] = per["VarF&AppIPC+LinOpt"].mips
+        metrics[f"linopt_ed2_{nt}t"] = per["VarF&AppIPC+LinOpt"].ed2
+    emit(results_dir, "fig11", result.format_table(),
+         benchmark=benchmark, metrics=metrics)
 
     for nt, per in result.results.items():
         base = per["Random+Foxton*"]

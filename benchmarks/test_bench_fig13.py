@@ -15,7 +15,13 @@ def test_fig13_weighted_metrics(benchmark, factory, results_dir):
                                    factory=factory,
                                    protocol="online"),
         rounds=1, iterations=1)
-    emit(results_dir, "fig13", result.format_table())
+    metrics = {}
+    for nt, per in result.results.items():
+        lin = per["VarF&AppIPC+LinOpt"]
+        metrics[f"linopt_weighted_mips_{nt}t"] = lin.weighted_mips
+        metrics[f"linopt_weighted_ed2_{nt}t"] = lin.weighted_ed2
+    emit(results_dir, "fig13", result.format_table(),
+         benchmark=benchmark, metrics=metrics)
 
     for nt, per in result.results.items():
         lin = per["VarF&AppIPC+LinOpt"]

@@ -17,7 +17,10 @@ def test_fig14_linopt_granularity(benchmark, factory, results_dir):
         lambda: fig14_granularity.run(intervals_s=intervals,
                                       n_trials=1, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig14", result.format_table())
+    metrics = {f"deviation_pct_10ms_{nt}t": devs[-1]
+               for nt, devs in result.deviation_pct.items()}
+    emit(results_dir, "fig14", result.format_table(),
+         benchmark=benchmark, metrics=metrics)
 
     for nt, devs in result.deviation_pct.items():
         # Paper shape: deviation shrinks as the interval shrinks and is

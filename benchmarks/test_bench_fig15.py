@@ -9,7 +9,10 @@ def test_fig15_linopt_execution_time(benchmark, factory, results_dir):
     result = benchmark.pedantic(
         lambda: fig15_linopt_time.run(n_trials=4, factory=factory),
         rounds=1, iterations=1)
-    emit(results_dir, "fig15", result.format_table())
+    metrics = {f"modelled_us_{env.lower().replace(' ', '_')}": times[-1]
+               for env, times in result.modelled_us.items()}
+    emit(results_dir, "fig15", result.format_table(),
+         benchmark=benchmark, metrics=metrics)
 
     for env_name, times in result.modelled_us.items():
         # Paper shape: time grows with thread count...

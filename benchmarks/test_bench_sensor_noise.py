@@ -51,7 +51,9 @@ def test_sensor_noise_robustness(benchmark, factory, results_dir):
         ["sensor sigma (W)", "LinOpt gain vs Random+Foxton*"],
         [[f"{s:.2f}", g] for s, g in gains.items()],
         "Robustness: LinOpt gain under sensor noise/quantisation")
-    emit(results_dir, "sensor_noise", table)
+    emit(results_dir, "sensor_noise", table,
+         benchmark=benchmark,
+         metrics={f"gain_sigma_{s:.2f}": g for s, g in gains.items()})
 
     clean = gains[0.0]
     noisy = gains[max(NOISE_LEVELS)]

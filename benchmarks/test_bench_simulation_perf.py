@@ -56,7 +56,11 @@ def test_simulation_event_loop_speedup(benchmark, factory, results_dir):
         "Online simulation: event-driven loop vs dense reference "
         f"(Fig 14 config: {N_THREADS} threads, LinOpt @ {INTERVAL_S:.0f} s, "
         f"{DURATION_S:.0f} s simulated)")
-    emit(results_dir, "simulation_perf", table)
+    emit(results_dir, "simulation_perf", table,
+         benchmark=benchmark,
+         metrics={"dense_evals": dense_evals,
+                  "event_evals": event_evals,
+                  "eval_reduction": dense_evals / event_evals})
 
     # Identical sensor traces (the loops are bitwise-equivalent) ...
     np.testing.assert_array_equal(dense_trace.power_w, event_trace.power_w)

@@ -8,7 +8,12 @@ from repro.experiments import table5_apps
 
 def test_table5_round_trip(benchmark, results_dir):
     result = benchmark.pedantic(table5_apps.run, rounds=3, iterations=1)
-    emit(results_dir, "table5", result.format_table())
+    powers = [r[1] for r in result.rows]
+    ipcs = [r[2] for r in result.rows]
+    emit(results_dir, "table5", result.format_table(),
+         benchmark=benchmark,
+         metrics={"power_spread": max(powers) / min(powers),
+                  "ipc_spread": max(ipcs) / min(ipcs)})
 
     by_name = {r[0]: r for r in result.rows}
     assert by_name["vortex"][1] == pytest.approx(4.4)
@@ -16,7 +21,5 @@ def test_table5_round_trip(benchmark, results_dir):
     assert by_name["mcf"][1] == pytest.approx(1.5)
     assert by_name["mcf"][2] == pytest.approx(0.1)
     # Paper ranges: up to 2.9x dynamic power, up to 12x IPC.
-    powers = [r[1] for r in result.rows]
-    ipcs = [r[2] for r in result.rows]
     assert max(powers) / min(powers) == pytest.approx(2.9, rel=0.05)
     assert max(ipcs) / min(ipcs) == pytest.approx(12.0, rel=0.05)

@@ -41,6 +41,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chart", action="store_true",
                         help="also render terminal charts where the "
                              "experiment supports it")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for die characterisation "
+                             "(default: REPRO_WORKERS or 1; serial "
+                             "runs are bitwise-identical)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent characterisation "
+                             "cache (benchmarks/.cache)")
     return parser
 
 
@@ -126,17 +133,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            print(f"=== {name} ===")
-            _run_one(name, args)
-            print()
-        return 0
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'list'",
-              file=sys.stderr)
-        return 2
-    _run_one(args.experiment, args)
+    from .parallel import parallel_config
+    with parallel_config(
+            workers=args.workers,
+            cache_enabled=False if args.no_cache else None):
+        if args.experiment == "all":
+            for name in EXPERIMENTS:
+                print(f"=== {name} ===")
+                _run_one(name, args)
+                print()
+            return 0
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        _run_one(args.experiment, args)
     return 0
 
 

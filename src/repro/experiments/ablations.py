@@ -46,6 +46,7 @@ def _linopt_throughput(factory: ChipFactory, config: LinOptConfig,
                        env: PowerEnvironment, n_threads: int,
                        n_trials: int, seed: int) -> float:
     """Mean LinOpt throughput relative to Foxton* (same scheduling)."""
+    factory.prefetch(n_trials)
     ratios = []
     for trial in range(n_trials):
         chip = factory.chip(trial, n_trials)
@@ -124,6 +125,7 @@ def run_thermal_ablation(
     isolated._chips = {}
 
     def saving(fac: ChipFactory) -> float:
+        fac.prefetch(n_trials)
         ratios = []
         for trial in range(n_trials):
             chip = fac.chip(trial, n_trials)

@@ -16,11 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..chip import ChipProfile, characterize_die
+from ..chip import ChipProfile
 from ..config import ArchConfig, DEFAULT_ARCH, DEFAULT_TECH, TechParams
 from ..floorplan import Floorplan, build_floorplan
+from ..parallel import characterize_batch
+from ..parallel.runner import CacheArg
 from ..thermal import ThermalNetwork
-from ..variation import DieBatch
 
 # Reduced defaults for interactive runs; the paper uses 200 dies and
 # 20 workload trials per experiment.
@@ -50,36 +51,67 @@ class ChipFactory:
 
     Characterisation is deterministic per (tech, arch, seed, die), so
     caching is purely a speed concern — experiments share dies freely.
+    Characterisation goes through :func:`repro.parallel
+    .characterize_batch`: batch requests shard across ``workers``
+    processes, and dies already in the persistent on-disk cache skip
+    characterisation entirely. Both layers are bitwise-transparent.
+
+    Args:
+        workers: Process count for batch characterisation. ``None``
+            defers to the process-wide default (CLI ``--workers`` /
+            ``REPRO_WORKERS``), which resolves at call time.
+        cache: ``"auto"`` (the shared on-disk cache, unless disabled
+            via ``--no-cache`` / ``REPRO_NO_CACHE``), ``None``
+            (disabled), or an explicit
+            :class:`~repro.parallel.CharacterizationCache`.
     """
 
     def __init__(self, tech: TechParams = DEFAULT_TECH,
-                 arch: ArchConfig = DEFAULT_ARCH, seed: int = 0) -> None:
+                 arch: ArchConfig = DEFAULT_ARCH, seed: int = 0,
+                 workers: Optional[int] = None,
+                 cache: CacheArg = "auto") -> None:
         self.tech = tech
         self.arch = arch
         self.seed = seed
+        self.workers = workers
+        self.cache = cache
         self.floorplan: Floorplan = build_floorplan(arch)
         self.thermal = ThermalNetwork(self.floorplan)
-        self._batch: Optional[DieBatch] = None
         self._chips: Dict[int, ChipProfile] = {}
 
-    def _ensure_batch(self, n_dies: int) -> DieBatch:
-        if self._batch is None or self._batch.n_dies < n_dies:
-            self._batch = DieBatch(self.tech, self.arch, n_dies,
-                                   seed=self.seed)
-        return self._batch
+    def _characterize(self, die_indices: List[int]) -> None:
+        profiles = characterize_batch(
+            self.tech, self.arch, self.seed, die_indices,
+            workers=self.workers, cache=self.cache,
+            floorplan=self.floorplan, thermal=self.thermal)
+        self._chips.update(zip(die_indices, profiles))
 
     def chip(self, die_index: int, n_dies_hint: int = 1) -> ChipProfile:
         """Characterised chip for die ``die_index`` (cached)."""
         if die_index not in self._chips:
-            batch = self._ensure_batch(max(die_index + 1, n_dies_hint))
-            self._chips[die_index] = characterize_die(
-                batch[die_index], self.tech, self.arch,
-                floorplan=self.floorplan, thermal=self.thermal)
+            self._characterize([die_index])
         return self._chips[die_index]
 
     def chips(self, n_dies: int) -> List[ChipProfile]:
-        """The first ``n_dies`` characterised chips."""
-        return [self.chip(i, n_dies) for i in range(n_dies)]
+        """The first ``n_dies`` characterised chips (one sharded run)."""
+        return self.chips_for(range(n_dies))
+
+    def chips_for(self, die_indices: Sequence[int]) -> List[ChipProfile]:
+        """Characterised chips for arbitrary ``die_indices``."""
+        indices = list(die_indices)
+        missing = [i for i in indices if i not in self._chips]
+        if missing:
+            self._characterize(missing)
+        return [self._chips[i] for i in indices]
+
+    def prefetch(self, n_dies: int) -> "ChipFactory":
+        """Characterise dies ``0..n_dies-1`` up front (one sharded run).
+
+        Runners that walk dies one at a time call this first so cache
+        misses are characterised in parallel instead of per-die.
+        """
+        self.chips(n_dies)
+        return self
 
 
 def _format_cell(v: object) -> str:

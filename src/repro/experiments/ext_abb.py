@@ -62,6 +62,7 @@ def run(
 ) -> ExtAbbResult:
     """Run the ABB mitigation study over a few dies."""
     factory = factory or ChipFactory()
+    factory.prefetch(n_dies)
     fr_b, fr_a, pr_b, pr_a, uni, gain_b, gain_a = ([] for _ in range(7))
     for die in range(n_dies):
         chip = factory.chip(die, n_dies)

@@ -71,6 +71,7 @@ def run(
 ) -> ExtParallelResult:
     """Run the parallel-application study."""
     factory = factory or ChipFactory()
+    factory.prefetch(n_dies)
     app = ParallelApplication(worker=get_app(worker_app),
                               n_threads=n_workers)
     workload = Workload(tuple(get_app(worker_app)

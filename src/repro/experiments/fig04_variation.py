@@ -13,12 +13,20 @@ Paper reference values (sigma/mu = 0.12): power ratios mostly 1.4-1.7
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..chip import ChipProfile
+from ..config import ArchConfig, DEFAULT_ARCH, DEFAULT_TECH, TechParams
+from ..parallel import (
+    CharacterizationCache,
+    get_default_cache,
+    resolve_workers,
+    run_sharded,
+)
 from ..runtime.evaluation import Assignment, evaluate_max_levels
 from ..workloads import SPEC_APPS, Workload
 from .common import ChipFactory, default_n_dies, format_rows, histogram
@@ -41,6 +49,52 @@ def core_frequency_ratio(chip: ChipProfile) -> float:
     """Max/min core frequency (binned at the hot temperature)."""
     fmax = chip.fmax_array
     return float(fmax.max() / fmax.min())
+
+
+def _ratio_shard(tech: TechParams, arch: ArchConfig, seed: int,
+                 cache_root: Optional[str], with_power: bool,
+                 indices: Sequence[int]) -> List[Tuple[float, float]]:
+    """Worker body: characterise a shard of dies and compute ratios."""
+    cache = CharacterizationCache(cache_root) if cache_root else None
+    factory = ChipFactory(tech=tech, arch=arch, seed=seed,
+                          workers=1, cache=cache)
+    return [
+        (core_power_ratio(chip) if with_power else float("nan"),
+         core_frequency_ratio(chip))
+        for chip in factory.chips_for(list(indices))
+    ]
+
+
+def die_ratios(n_dies: int, tech: TechParams = DEFAULT_TECH,
+               arch: ArchConfig = DEFAULT_ARCH, seed: int = 0,
+               workers: Optional[int] = None, with_power: bool = True,
+               factory: Optional[ChipFactory] = None,
+               ) -> List[Tuple[float, float]]:
+    """Per-die ``(power_ratio, freq_ratio)`` pairs, sharded.
+
+    The per-die work — characterisation plus the 4(a)/4(b) ratio
+    analysis — is independent, so with ``workers > 1`` whole dies
+    shard across processes via :func:`repro.parallel.run_sharded`.
+    The serial path (``workers=1``) reuses ``factory`` in-process and
+    is bitwise-identical, as each die is deterministic in isolation.
+    ``with_power=False`` skips the expensive 4(a) power analysis and
+    reports NaN for it (Figure 5(b) only needs frequencies).
+    """
+    if factory is not None:
+        tech, arch, seed = factory.tech, factory.arch, factory.seed
+    workers = resolve_workers(workers)
+    if workers <= 1 or n_dies <= 1:
+        factory = factory or ChipFactory(tech=tech, arch=arch, seed=seed)
+        return [
+            (core_power_ratio(chip) if with_power else float("nan"),
+             core_frequency_ratio(chip))
+            for chip in factory.chips(n_dies)
+        ]
+    store = get_default_cache()
+    cache_root = str(store.root) if store is not None else None
+    fn = functools.partial(_ratio_shard, tech, arch, seed,
+                           cache_root, with_power)
+    return run_sharded(fn, list(range(n_dies)), workers=workers)
 
 
 @dataclass(frozen=True)
@@ -80,14 +134,11 @@ class Fig04Result:
 
 
 def run(n_dies: Optional[int] = None,
-        factory: Optional[ChipFactory] = None) -> Fig04Result:
+        factory: Optional[ChipFactory] = None,
+        workers: Optional[int] = None) -> Fig04Result:
     """Reproduce Figure 4 on a batch of dies."""
     n_dies = n_dies or default_n_dies()
-    factory = factory or ChipFactory()
-    power_ratios = []
-    freq_ratios = []
-    for chip in factory.chips(n_dies):
-        power_ratios.append(core_power_ratio(chip))
-        freq_ratios.append(core_frequency_ratio(chip))
+    pairs = die_ratios(n_dies, factory=factory, workers=workers)
+    power_ratios, freq_ratios = zip(*pairs)
     return Fig04Result(power_ratios=np.array(power_ratios),
                        freq_ratios=np.array(freq_ratios))

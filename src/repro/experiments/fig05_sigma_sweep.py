@@ -14,8 +14,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import DEFAULT_TECH, TechParams
-from .common import ChipFactory, default_n_dies, format_rows
-from .fig04_variation import core_frequency_ratio, core_power_ratio
+from .common import default_n_dies, format_rows
+from .fig04_variation import die_ratios
 
 SIGMA_OVER_MU_VALUES: Tuple[float, ...] = (0.03, 0.06, 0.09, 0.12)
 
@@ -39,20 +39,22 @@ class Fig05Result:
 
 def run(n_dies: Optional[int] = None,
         sigma_values: Sequence[float] = SIGMA_OVER_MU_VALUES,
-        tech: TechParams = DEFAULT_TECH) -> Fig05Result:
-    """Reproduce Figure 5."""
+        tech: TechParams = DEFAULT_TECH,
+        workers: Optional[int] = None,
+        with_power: bool = True) -> Fig05Result:
+    """Reproduce Figure 5.
+
+    ``with_power=False`` computes only the 5(b) frequency series —
+    pure characterisation output — and reports NaN for 5(a).
+    """
     n_dies = n_dies or max(default_n_dies() // 2, 8)
     power_means: List[float] = []
     freq_means: List[float] = []
     for sigma in sigma_values:
-        factory = ChipFactory(tech=tech.with_sigma_over_mu(sigma))
-        p_ratios = []
-        f_ratios = []
-        for chip in factory.chips(n_dies):
-            p_ratios.append(core_power_ratio(chip))
-            f_ratios.append(core_frequency_ratio(chip))
-        power_means.append(float(np.mean(p_ratios)))
-        freq_means.append(float(np.mean(f_ratios)))
+        pairs = die_ratios(n_dies, tech=tech.with_sigma_over_mu(sigma),
+                           workers=workers, with_power=with_power)
+        power_means.append(float(np.mean([p for p, _ in pairs])))
+        freq_means.append(float(np.mean([f for _, f in pairs])))
     return Fig05Result(
         sigma_over_mu=tuple(sigma_values),
         power_ratio=tuple(power_means),

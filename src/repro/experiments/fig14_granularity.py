@@ -67,6 +67,7 @@ def run(
 ) -> Fig14Result:
     """Reproduce Figure 14."""
     factory = factory or ChipFactory()
+    factory.prefetch(n_trials)
     deviation: Dict[int, Tuple[float, ...]] = {}
     for nt in thread_counts:
         per_interval = []

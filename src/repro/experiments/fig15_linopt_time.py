@@ -60,6 +60,7 @@ def run(
 ) -> Fig15Result:
     """Reproduce Figure 15."""
     factory = factory or ChipFactory()
+    factory.prefetch(n_trials)
     modelled: Dict[str, List[float]] = {e.name: [] for e in environments}
     wall: Dict[str, List[float]] = {e.name: [] for e in environments}
     for nt in thread_counts:

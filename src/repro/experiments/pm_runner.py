@@ -15,6 +15,7 @@ Metrics are normalised per-trial to ``Random+Foxton*`` and averaged.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -117,6 +118,7 @@ def run_pm_comparison(
         algorithms = standard_algorithms(online=protocol == "online")
     if not any(a.name == baseline for a in algorithms):
         raise ValueError(f"baseline {baseline!r} missing")
+    factory.prefetch(min(n_trials, n_dies))
     sums = {a.name: np.zeros(5) for a in algorithms}
     for trial in range(n_trials):
         chip = factory.chip(trial % n_dies, n_dies)
@@ -124,8 +126,10 @@ def run_pm_comparison(
             n_threads, np.random.default_rng([seed, trial, 23]))
         metrics: Dict[str, np.ndarray] = {}
         for algo in algorithms:
+            # crc32, not hash(): str hashing is randomised per process
+            # (PYTHONHASHSEED), which made these trials irreproducible.
             rng = np.random.default_rng(
-                [seed, trial, hash(algo.name) & 0x7FFFFFFF])
+                [seed, trial, zlib.crc32(algo.name.encode())])
             assignment = algo.policy.assign_with_profiling(
                 chip, workload, rng)
             manager = algo.make_manager()

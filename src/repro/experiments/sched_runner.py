@@ -9,6 +9,7 @@ and then averaged, matching the paper's protocol (Section 6.4).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,7 @@ def run_policy_comparison(
     """
     if not any(p.name == baseline for p in policies):
         raise ValueError(f"baseline {baseline!r} not among the policies")
+    factory.prefetch(min(n_trials, n_dies))
     sums = {p.name: {"power": 0.0, "ed2": 0.0, "mips": 0.0, "freq": 0.0}
             for p in policies}
     for trial in range(n_trials):
@@ -71,8 +73,10 @@ def run_policy_comparison(
             n_threads, np.random.default_rng([seed, trial, 11]))
         per_policy: Dict[str, SystemState] = {}
         for policy in policies:
-            rng = np.random.default_rng([seed, trial, hash(policy.name)
-                                         & 0x7FFFFFFF])
+            # crc32, not hash(): str hashing is randomised per process
+            # (PYTHONHASHSEED), which made these trials irreproducible.
+            rng = np.random.default_rng(
+                [seed, trial, zlib.crc32(policy.name.encode())])
             assignment = policy.assign_with_profiling(chip, workload, rng)
             per_policy[policy.name] = evaluate(chip, workload, assignment)
         base = per_policy[baseline]

@@ -1,0 +1,55 @@
+"""Sharded execution and persistent characterisation caching.
+
+The experiment layer's scaling substrate (ROADMAP: "sharding,
+batching, caching"): deterministic batch sharding over a process pool
+plus an on-disk, content-addressed characterisation cache, composed by
+:func:`characterize_batch`. See DESIGN.md §12.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CHARACTERIZATION_TAG,
+    CharacterizationCache,
+    cache_enabled,
+    cache_key,
+    default_cache_root,
+    get_default_cache,
+    profile_from_payload,
+    profile_payload,
+    set_cache_enabled,
+    set_cache_root,
+)
+from .runner import (
+    characterize_batch,
+    parallel_config,
+    resolve_workers,
+    set_default_workers,
+)
+from .sharding import (
+    available_workers,
+    run_sharded,
+    shard_indices,
+    spawn_seeds,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CHARACTERIZATION_TAG",
+    "CharacterizationCache",
+    "available_workers",
+    "cache_enabled",
+    "cache_key",
+    "characterize_batch",
+    "default_cache_root",
+    "get_default_cache",
+    "parallel_config",
+    "profile_from_payload",
+    "profile_payload",
+    "resolve_workers",
+    "run_sharded",
+    "set_cache_enabled",
+    "set_cache_root",
+    "set_default_workers",
+    "shard_indices",
+    "spawn_seeds",
+]

@@ -1,0 +1,208 @@
+"""Sharded, cached characterisation of seeded die batches.
+
+:func:`characterize_batch` is the single entry point the experiment
+layer uses to turn (tech, arch, seed, die indices) into
+:class:`~repro.chip.ChipProfile` objects. It composes the two speed
+layers:
+
+* the persistent :mod:`~repro.parallel.cache` — hits skip
+  characterisation entirely;
+* the sharded process pool from :mod:`~repro.parallel.sharding` —
+  cache misses are characterised ``workers`` shards at a time.
+
+Determinism: each die is generated from its own ``(seed, index)``
+stream and characterised with a per-die seed, so results are
+independent of shard boundaries and worker count. ``workers=1``
+characterises misses with the same plain loop the pre-parallel code
+used, and payload round-trips preserve arrays bitwise, so serial,
+sharded and cached runs are all bitwise-identical.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..chip import ChipProfile, characterize_die
+from ..config import ArchConfig, TechParams
+from ..floorplan import Floorplan, build_floorplan
+from ..thermal import ThermalNetwork
+from ..variation import DieBatch
+from . import cache as _cache_mod
+from .cache import (
+    CharacterizationCache,
+    Payload,
+    cache_key,
+    get_default_cache,
+    profile_from_payload,
+    profile_payload,
+)
+from .sharding import run_sharded
+
+CacheArg = Union[None, str, CharacterizationCache]
+
+_default_workers: Optional[int] = None
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count for a batch run.
+
+    Priority: the explicit argument, :func:`set_default_workers` (the
+    CLI's ``--workers``), the ``REPRO_WORKERS`` environment variable,
+    then 1 (serial).
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get("REPRO_WORKERS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide worker default (``None`` restores env/1)."""
+    global _default_workers
+    _default_workers = max(1, int(workers)) if workers is not None else None
+
+
+@contextmanager
+def parallel_config(workers: Optional[int] = None,
+                    cache_enabled: Optional[bool] = None,
+                    cache_root=None):
+    """Temporarily override the process-wide parallel/cache defaults.
+
+    Used by the CLI (for the lifetime of a run) and by benchmarks and
+    tests that compare serial, sharded, cold and warm configurations.
+    """
+    prev_workers = _default_workers
+    prev_enabled = _cache_mod._cache_enabled_override
+    prev_root = _cache_mod._cache_root_override
+    try:
+        if workers is not None:
+            set_default_workers(workers)
+        if cache_enabled is not None:
+            _cache_mod.set_cache_enabled(cache_enabled)
+        if cache_root is not None:
+            _cache_mod.set_cache_root(cache_root)
+        yield
+    finally:
+        set_default_workers(prev_workers)
+        _cache_mod.set_cache_enabled(prev_enabled)
+        _cache_mod._cache_root_override = prev_root
+
+
+def _resolve_cache(cache: CacheArg) -> Optional[CharacterizationCache]:
+    if cache == "auto":
+        return get_default_cache()
+    if cache is None or isinstance(cache, CharacterizationCache):
+        return cache
+    raise TypeError("cache must be 'auto', None, or a "
+                    "CharacterizationCache")
+
+
+def _characterize_shard(tech: TechParams, arch: ArchConfig, seed: int,
+                        cache_root: Optional[str],
+                        indices: List[int]) -> List[Payload]:
+    """Worker body: characterise a shard of dies into payloads.
+
+    Runs in a pool process (or inline for the single-shard fallback).
+    Stores into the shared cache directly so the (compressing) writes
+    are parallelised too; atomic writes make concurrent stores safe.
+    Returns plain array payloads — cheap to pickle back to the parent.
+    """
+    batch = DieBatch(tech, arch, max(indices) + 1, seed=seed)
+    floorplan = build_floorplan(arch)
+    thermal = ThermalNetwork(floorplan)
+    store = (CharacterizationCache(cache_root)
+             if cache_root is not None else None)
+    payloads = []
+    for index in indices:
+        profile = characterize_die(batch[index], tech, arch,
+                                   floorplan=floorplan, thermal=thermal)
+        payload = profile_payload(profile)
+        if store is not None:
+            store.store(cache_key(tech, arch, seed, index), payload)
+        payloads.append(payload)
+    return payloads
+
+
+def characterize_batch(
+    tech: TechParams,
+    arch: ArchConfig,
+    seed: int,
+    die_indices: Sequence[int],
+    workers: Optional[int] = None,
+    cache: CacheArg = "auto",
+    floorplan: Optional[Floorplan] = None,
+    thermal: Optional[ThermalNetwork] = None,
+) -> List[ChipProfile]:
+    """Characterise the requested dies of a seeded batch.
+
+    Args:
+        tech, arch, seed: The batch identity (die ``i`` is generated
+            from the ``(seed, i)`` stream regardless of batch size).
+        die_indices: Dies wanted, in the order results are returned.
+        workers: Process count for cache misses; ``None`` resolves via
+            :func:`resolve_workers`. ``1`` is the serial fallback,
+            bitwise-identical to the pre-parallel loop.
+        cache: ``"auto"`` (the process-wide default cache), ``None``
+            (disabled), or an explicit :class:`CharacterizationCache`.
+        floorplan, thermal: Shared structures to attach to the
+            profiles (built from ``arch`` when omitted).
+
+    Returns:
+        One :class:`ChipProfile` per entry of ``die_indices``.
+    """
+    indices = [int(i) for i in die_indices]
+    if not indices:
+        return []
+    if min(indices) < 0:
+        raise ValueError("die indices must be non-negative")
+    workers = resolve_workers(workers)
+    store = _resolve_cache(cache)
+    if floorplan is None:
+        floorplan = build_floorplan(arch)
+    if thermal is None:
+        thermal = ThermalNetwork(floorplan)
+
+    profiles: Dict[int, ChipProfile] = {}
+    unique = list(dict.fromkeys(indices))
+    missing: List[int] = []
+    for index in unique:
+        payload = (store.load(cache_key(tech, arch, seed, index))
+                   if store is not None else None)
+        if payload is not None:
+            profiles[index] = profile_from_payload(
+                payload, tech, arch, floorplan, thermal)
+        else:
+            missing.append(index)
+
+    if missing and workers > 1 and len(missing) > 1:
+        fn = functools.partial(
+            _characterize_shard, tech, arch, seed,
+            str(store.root) if store is not None else None)
+        payloads = run_sharded(fn, missing, workers=workers)
+        if store is not None:
+            store.stats["stores"] += len(missing)
+        for index, payload in zip(missing, payloads):
+            profiles[index] = profile_from_payload(
+                payload, tech, arch, floorplan, thermal)
+    elif missing:
+        batch = DieBatch(tech, arch, max(missing) + 1, seed=seed)
+        for index in missing:
+            profile = characterize_die(batch[index], tech, arch,
+                                       floorplan=floorplan,
+                                       thermal=thermal)
+            if store is not None:
+                store.store(cache_key(tech, arch, seed, index),
+                            profile_payload(profile))
+            profiles[index] = profile
+
+    return [profiles[index] for index in indices]

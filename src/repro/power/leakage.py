@@ -112,6 +112,39 @@ class CoreLeakageModel:
         self.tech = tech
         self.calibration = calibration
 
+    @classmethod
+    def from_arrays(cls, vth: np.ndarray, weights: np.ndarray,
+                    tech: TechParams,
+                    calibration: float) -> "CoreLeakageModel":
+        """Rebuild a model from its flattened state.
+
+        ``vth``/``weights`` must be a previously flattened (and
+        normalised) cell state, e.g. from :attr:`cell_vth` /
+        :attr:`cell_weights` — the characterisation cache's round-trip.
+        """
+        vth = np.asarray(vth, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if vth.shape != weights.shape or vth.ndim != 1 or vth.size == 0:
+            raise ValueError("vth and weights must be matching 1-D arrays")
+        if calibration <= 0:
+            raise ValueError("calibration must be positive")
+        model = cls.__new__(cls)
+        model._vth = vth
+        model._weights = weights
+        model.tech = tech
+        model.calibration = calibration
+        return model
+
+    @property
+    def cell_vth(self) -> np.ndarray:
+        """Flattened per-cell Vth state (read-only serialisation view)."""
+        return self._vth
+
+    @property
+    def cell_weights(self) -> np.ndarray:
+        """Flattened normalised per-cell weights."""
+        return self._weights
+
     def power(self, vdd: float, t_kelvin: float) -> float:
         """Core static power (W) at supply ``vdd`` and temperature T."""
         factors = leakage_factor(vdd, self._vth, t_kelvin, self.tech)
@@ -160,7 +193,8 @@ def build_core_leakage(
         vth_cells, _ = vmap.region_cells(r.x0, r.y0, r.x1, r.y1)
         units.append(UnitLeakage(vth_cells=vth_cells,
                                  weight=unit.spec.leakage_weight))
-    return CoreLeakageModel(units, tech, leakage_calibration(tech, nominal_watts))
+    return CoreLeakageModel(units, tech,
+                            leakage_calibration(tech, nominal_watts))
 
 
 class L2LeakageModel:
@@ -188,6 +222,35 @@ class L2LeakageModel:
         self._block_share = areas / areas.sum()
         self.tech = tech
         self.calibration = leakage_calibration(tech, nominal_watts)
+
+    @classmethod
+    def from_arrays(cls, block_vth: Sequence[np.ndarray],
+                    block_share: np.ndarray, tech: TechParams,
+                    calibration: float) -> "L2LeakageModel":
+        """Rebuild a model from its per-block state (cache round-trip)."""
+        if not block_vth:
+            raise ValueError("need at least one L2 block")
+        share = np.asarray(block_share, dtype=float)
+        if share.shape != (len(block_vth),):
+            raise ValueError("block_share must match the block count")
+        if calibration <= 0:
+            raise ValueError("calibration must be positive")
+        model = cls.__new__(cls)
+        model._block_vth = [np.asarray(v, dtype=float) for v in block_vth]
+        model._block_share = share
+        model.tech = tech
+        model.calibration = calibration
+        return model
+
+    @property
+    def block_vth(self) -> List[np.ndarray]:
+        """Per-block Vth cell values (read-only serialisation view)."""
+        return list(self._block_vth)
+
+    @property
+    def block_share(self) -> np.ndarray:
+        """Per-block share of the calibrated leakage budget."""
+        return self._block_share
 
     @property
     def n_blocks(self) -> int:

@@ -43,6 +43,23 @@ class TestCli:
         assert "SAnn" not in out
 
 
+class TestCliParallelFlags:
+    def test_workers_flag_populates_cache(self, capsys, tmp_path,
+                                          monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["fig5", "--dies", "2", "--workers", "2"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+        assert list(cache_dir.rglob("*.npz"))
+
+    def test_no_cache_flag(self, capsys, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["fig4", "--dies", "1", "--no-cache"]) == 0
+        assert "Figure 4(a)" in capsys.readouterr().out
+        assert not cache_dir.exists()
+
+
 class TestCliCharts:
     def test_fig4_chart(self, capsys):
         assert main(["fig4", "--dies", "2", "--chart"]) == 0

@@ -98,6 +98,43 @@ class TestFig6:
 
 
 class TestSchedulingFigures:
+    def test_fig7_reproducible_across_processes(self):
+        """Regression: policy RNGs were seeded with builtin hash(),
+        which PYTHONHASHSEED randomises per process — figs 7-13 gave
+        different numbers on every run. Seeds must be hash-stable."""
+        import json
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+        code = (
+            "import json\n"
+            "from repro.config import ArchConfig\n"
+            "from repro.experiments import fig07_unifreq\n"
+            "from repro.experiments.common import ChipFactory\n"
+            "factory = ChipFactory(arch=ArchConfig(\n"
+            "    n_cores=8, die_area_mm2=140.0, grid_resolution=32))\n"
+            "r = fig07_unifreq.run(n_trials=2, n_dies=2,\n"
+            "                      thread_counts=(2, 4), factory=factory)\n"
+            "print(json.dumps({str(nt): {p: a.power for p, a in per.items()}\n"
+            "                  for nt, per in r.results.items()},\n"
+            "                 sort_keys=True))\n")
+
+        def run_with_hashseed(hashseed):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hashseed,
+                       PYTHONPATH=str(
+                           pathlib.Path(repro.__file__).parents[1]),
+                       REPRO_NO_CACHE="1")
+            out = subprocess.run([sys.executable, "-c", code], env=env,
+                                 capture_output=True, text=True,
+                                 check=True)
+            return json.loads(out.stdout)
+
+        assert run_with_hashseed("1") == run_with_hashseed("2")
+
     def test_fig7_varp_saves_power_at_light_load(self, factory):
         result = fig07_unifreq.run(n_trials=3, n_dies=3,
                                    thread_counts=(4, 20),
