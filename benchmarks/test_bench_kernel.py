@@ -1,0 +1,132 @@
+"""Benchmark: batched evaluation kernel vs the serial evaluation loop.
+
+Times the exact batch shapes the rewired power managers hand to
+:class:`repro.runtime.kernel.EvalKernel` — the 64-combination slab of
+ExhaustiveSearch and one SAnn quench neighbourhood (all ±1 moves plus
+pairwise trades) — against the serial ``evaluate_levels`` loop over
+the same candidates, and asserts the batched path is at least 3x
+faster on both. Serial and batched rounds are interleaved so load
+spikes hit both modes, and the minimum wall per mode is compared (the
+robust statistic on a noisy runner).
+
+Also records the kernel observability counters of a full SAnn run
+(deterministic, so the perf gate catches semantic drift in how the
+policies batch) into ``BENCH_kernel.json``.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.chip import characterize_die
+from repro.config import COST_PERFORMANCE, DEFAULT_TECH, ArchConfig
+from repro.experiments.common import format_rows
+from repro.pm import SAnnManager
+from repro.runtime.evaluation import Assignment, evaluate_levels
+from repro.runtime.kernel import EvalKernel
+from repro.variation import DieBatch
+from repro.workloads import make_workload
+
+# Interleaved measurement rounds per configuration.
+N_ROUNDS = 5
+
+# (threads, candidate rows, seed) per configuration: the exhaustive
+# slab matches ExhaustiveSearch._BATCH_COMBOS; the SAnn neighbourhood
+# is 2n single moves + n*(n-1) pairwise trades at n=6.
+CONFIGS = {
+    "exhaustive": (3, 64, 101),
+    "sann": (6, 42, 102),
+}
+
+MIN_SPEEDUP = 3.0
+
+
+def _case(chip, n_threads, n_rows, seed):
+    rng = np.random.default_rng(seed)
+    workload = make_workload(n_threads, rng)
+    cores = rng.choice(chip.n_cores, size=n_threads, replace=False)
+    assignment = Assignment(core_of=tuple(int(c) for c in cores))
+    max_lv = min(chip.cores[c].vf_table.n_levels
+                 for c in assignment.core_of)
+    matrix = rng.integers(0, max_lv, size=(n_rows, n_threads))
+    return workload, assignment, matrix
+
+
+def test_kernel_batch_speedup(benchmark, results_dir):
+    tech = DEFAULT_TECH
+    arch = ArchConfig(n_cores=8, die_area_mm2=140.0, grid_resolution=32)
+    chip = characterize_die(DieBatch(tech, arch, n_dies=1, seed=7)[0],
+                            tech, arch)
+
+    cases = {}
+    for name, (n_threads, n_rows, seed) in CONFIGS.items():
+        workload, assignment, matrix = _case(chip, n_threads, n_rows,
+                                             seed)
+        kernel = EvalKernel(chip, workload, assignment)
+        # Sanity-check identity once before timing anything — a fast
+        # kernel that disagrees with the serial loop benchmarks
+        # nothing.
+        states = kernel.evaluate_levels_batch(matrix)
+        ref = evaluate_levels(chip, workload, assignment,
+                              list(matrix[0]))
+        assert states[0].total_power == ref.total_power
+        np.testing.assert_array_equal(states[0].block_temps,
+                                      ref.block_temps)
+        cases[name] = (workload, assignment, matrix, kernel)
+
+    def measure():
+        walls = {}
+        for name, (workload, assignment, matrix, kernel) in cases.items():
+            rows = [list(r) for r in matrix]
+            serial_walls, batch_walls = [], []
+            for _ in range(N_ROUNDS):
+                t0 = time.perf_counter()
+                for levels in rows:
+                    evaluate_levels(chip, workload, assignment, levels)
+                serial_walls.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                kernel.evaluate_levels_batch(matrix)
+                batch_walls.append(time.perf_counter() - t0)
+            walls[name] = (min(serial_walls), min(batch_walls))
+        return walls
+
+    walls = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Kernel observability of a real policy run: deterministic batch
+    # counters the perf gate can hold to the baseline.
+    workload, assignment, _ = _case(chip, 6, 1, 103)
+    sann = SAnnManager(n_evaluations=100).set_levels(
+        chip, workload, assignment, COST_PERFORMANCE,
+        rng=np.random.default_rng(3))
+
+    metrics = {
+        "sann_kernel_evaluations": sann.stats["kernel_evaluations"],
+        "sann_kernel_batches": sann.stats["kernel_batches"],
+        "sann_kernel_batch_max": sann.stats["kernel_batch_max"],
+        "sann_evaluations": float(sann.evaluations),
+        "sann_cache_hits": sann.stats["sa_cache_hits"],
+    }
+    rows = []
+    for name, (n_threads, n_rows, _) in CONFIGS.items():
+        serial_wall, batch_wall = walls[name]
+        speedup = serial_wall / batch_wall
+        metrics[f"speedup_{name}"] = speedup
+        metrics[f"serial_per_eval_{name}_s"] = serial_wall / n_rows
+        metrics[f"batch_per_eval_{name}_s"] = batch_wall / n_rows
+        rows.append([name, n_threads, n_rows,
+                     1e3 * serial_wall, 1e3 * batch_wall, speedup])
+
+    table = format_rows(
+        ["config", "threads", "candidates", "serial ms", "batched ms",
+         "speedup"],
+        rows,
+        "Batched evaluation kernel vs serial loop "
+        f"(min over {N_ROUNDS} interleaved rounds)")
+    emit(results_dir, "kernel", table, benchmark=benchmark,
+         metrics=metrics)
+
+    for name in CONFIGS:
+        assert metrics[f"speedup_{name}"] >= MIN_SPEEDUP, (
+            f"batched evaluation only {metrics[f'speedup_{name}']:.2f}x "
+            f"faster than serial on the {name} config")

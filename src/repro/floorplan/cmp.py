@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..config import ArchConfig
 from .geometry import Rect
 from .units import PlacedUnit, layout_core_units
@@ -51,6 +53,24 @@ class Floorplan:
         out = [(f"core{i}", r) for i, r in enumerate(self.cores)]
         out.extend((f"l2_{j}", r) for j, r in enumerate(self.l2_blocks))
         return out
+
+    @property
+    def l2_area_share(self) -> np.ndarray:
+        """Per-L2-block share of the total L2 area (sums to 1).
+
+        Splits the shared L2's dynamic power across its floorplan
+        blocks. Computed once and cached — this sits inside every
+        system evaluation, the hottest path in the repo. The cached
+        array is read-only so one evaluation cannot corrupt another.
+        """
+        cached = getattr(self, "_l2_area_share", None)
+        if cached is None:
+            share = np.array([r.area for r in self.l2_blocks])
+            share = share / share.sum()
+            share.setflags(write=False)
+            object.__setattr__(self, "_l2_area_share", share)
+            cached = share
+        return cached
 
 
 def _core_grid_shape(n_cores: int) -> Tuple[int, int]:

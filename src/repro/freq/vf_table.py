@@ -91,10 +91,16 @@ class VFTable:
         """Least-squares (slope, intercept) of f as a function of V.
 
         LinOpt's linearity assumption: f is largely linear in V
-        (Section 4.3.1).
+        (Section 4.3.1). The table is immutable, so the fit is
+        computed once and cached — LinOpt re-reads it on every pass
+        for every core.
         """
-        slope, intercept = np.polyfit(self.voltages, self.freqs, 1)
-        return float(slope), float(intercept)
+        cached = getattr(self, "_linear_fit", None)
+        if cached is None:
+            slope, intercept = np.polyfit(self.voltages, self.freqs, 1)
+            cached = (float(slope), float(intercept))
+            object.__setattr__(self, "_linear_fit", cached)
+        return cached
 
 
 def build_vf_table(

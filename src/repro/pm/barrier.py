@@ -25,9 +25,10 @@ import numpy as np
 
 from ..chip import ChipProfile
 from ..config import PowerEnvironment
-from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..runtime.evaluation import Assignment, SystemState
 from ..workloads import Workload
-from .base import PmResult, PowerManager, meets_constraints
+from .base import (PmResult, PowerManager, make_evaluator,
+                   meets_constraints, merge_kernel_stats)
 
 # Binary-search iterations on the common pace (Hz resolution ~ fmax /
 # 2^ITERS, far below the V/f table's own quantisation).
@@ -57,6 +58,9 @@ class BarrierAwarePm(PowerManager):
 
     name = "BarrierAware"
 
+    def __init__(self, use_kernel: bool = True) -> None:
+        self.use_kernel = use_kernel
+
     def set_levels(
         self,
         chip: ChipProfile,
@@ -71,10 +75,12 @@ class BarrierAwarePm(PowerManager):
     ) -> PmResult:
         p_target, p_core_max = self._budget(chip, assignment, env)
 
-        def evaluate(lv):
-            return evaluate_levels(chip, workload, assignment, lv,
-                                   ipc_multipliers=ipc_multipliers,
-                                   ceff_multipliers=ceff_multipliers)
+        # Each pace probe depends on the previous bisection outcome, so
+        # the search is sequential — the kernel still pays off as a
+        # faster single-candidate path.
+        evaluate, kernel = make_evaluator(
+            chip, workload, assignment, ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers, use_kernel=self.use_kernel)
 
         f_low = min(chip.cores[c].vf_table.freqs[0]
                     for c in assignment.core_of)
@@ -115,4 +121,6 @@ class BarrierAwarePm(PowerManager):
             best_levels, best_state = levels, state
         return PmResult(levels=tuple(best_levels), state=best_state,
                         evaluations=evaluations,
-                        stats={"pace_iters": float(PACE_SEARCH_ITERS)})
+                        stats=merge_kernel_stats(
+                            {"pace_iters": float(PACE_SEARCH_ITERS)},
+                            kernel))

@@ -14,11 +14,16 @@ import numpy as np
 
 from ..chip import ChipProfile
 from ..config import PowerEnvironment
-from ..runtime.evaluation import Assignment, evaluate_levels
 from ..workloads import Workload
-from .base import PmResult, PowerManager, meets_constraints
+from .base import (PmResult, PowerManager, make_evaluator,
+                   meets_constraints, merge_kernel_stats)
 
 DEFAULT_COMBINATION_LIMIT = 50_000
+
+# Combinations handed to the kernel per batch call. The kernel chunks
+# internally for cache locality; this only bounds how much of the
+# (possibly 50k-deep) product is materialised at once.
+_BATCH_COMBOS = 64
 
 
 class ExhaustiveSearch(PowerManager):
@@ -26,11 +31,12 @@ class ExhaustiveSearch(PowerManager):
 
     name = "Exhaustive"
 
-    def __init__(self, combination_limit: int = DEFAULT_COMBINATION_LIMIT
-                 ) -> None:
+    def __init__(self, combination_limit: int = DEFAULT_COMBINATION_LIMIT,
+                 use_kernel: bool = True) -> None:
         if combination_limit < 1:
             raise ValueError("combination_limit must be positive")
         self.combination_limit = combination_limit
+        self.use_kernel = use_kernel
 
     def set_levels(
         self,
@@ -53,15 +59,17 @@ class ExhaustiveSearch(PowerManager):
                 f"{n_combos} combinations exceed the limit of "
                 f"{self.combination_limit}; exhaustive search only "
                 "scales to very small systems (the paper's point)")
+        evaluate, kernel = make_evaluator(
+            chip, workload, assignment, ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers, use_kernel=self.use_kernel)
         best = None
         best_state = None
         fallback = None
         fallback_state = None
         evaluations = 0
-        for combo in itertools.product(*level_ranges):
-            state = evaluate_levels(chip, workload, assignment, list(combo),
-                                    ipc_multipliers=ipc_multipliers,
-                                    ceff_multipliers=ceff_multipliers)
+
+        def consider(combo, state):
+            nonlocal best, best_state, fallback, fallback_state, evaluations
             evaluations += 1
             if meets_constraints(state, p_target, p_core_max):
                 if (best_state is None
@@ -71,9 +79,29 @@ class ExhaustiveSearch(PowerManager):
             elif (fallback_state is None
                   or state.total_power < fallback_state.total_power):
                 fallback, fallback_state = combo, state
+
+        combos = itertools.product(*level_ranges)
+        if kernel is not None:
+            # Combinations are mutually independent, so the enumeration
+            # is the ideal batch shape: fixed-size slices of the product
+            # go through one kernel call each, and the in-order walk of
+            # the results (including which combination's error surfaces
+            # first) matches the serial loop exactly.
+            while True:
+                batch = list(itertools.islice(combos, _BATCH_COMBOS))
+                if not batch:
+                    break
+                states = kernel.evaluate_levels_batch(
+                    [list(c) for c in batch])
+                for combo, state in zip(batch, states):
+                    consider(combo, state)
+        else:
+            for combo in combos:
+                consider(combo, evaluate(list(combo)))
         if best is None:
             # No feasible point exists: return the lowest-power one.
             best, best_state = fallback, fallback_state
         return PmResult(levels=tuple(best), state=best_state,
                         evaluations=evaluations,
-                        stats={"combinations": float(n_combos)})
+                        stats=merge_kernel_stats(
+                            {"combinations": float(n_combos)}, kernel))

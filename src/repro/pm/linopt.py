@@ -30,7 +30,7 @@ invocations; the `ablation_slp` bench quantifies it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -38,9 +38,17 @@ from ..chip import ChipProfile
 from ..config import PowerEnvironment
 from ..linprog import solve_lp_maximize
 from ..power import IpcSensor, PowerSensor, core_reader, independent_rngs
-from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..runtime.evaluation import Assignment, SystemState
 from ..workloads import Workload
-from .base import PmResult, PowerManager, meets_constraints
+from .base import (PmResult, PowerManager, make_evaluator,
+                   meets_constraints, merge_kernel_stats)
+
+# Speculative refill batching: step-up trials are planned in the fixed
+# efficiency order assuming each will be rejected (the common case once
+# the budget is tight), so an acceptance discards the rest of the
+# batch. The batch grows while full batches keep getting rejected.
+_REFILL_SPEC_MIN = 2
+_REFILL_SPEC_MAX = 16
 
 
 @dataclass(frozen=True)
@@ -151,7 +159,14 @@ def fit_power_lines(
             hi = min(centre + span_levels, table.n_levels - 1)
             if hi - lo < 1:  # widen degenerate windows
                 lo = max(hi - 1, 0)
-            level_set = sorted({lo, (lo + hi) // 2, hi})
+            # Spread n_voltages profiling points evenly across the
+            # window (duplicates collapse when the window is narrower
+            # than the requested point count), mirroring the global
+            # branch above — the local fit must honour the configured
+            # profiling budget too, not silently measure three points.
+            level_set = sorted({
+                lo + (k * (hi - lo)) // (n_voltages - 1)
+                for k in range(n_voltages)})
         reader = core_reader(power_sensor, core_id)
         xs, ys = [], []
         for level in level_set:
@@ -179,8 +194,10 @@ class LinOpt(PowerManager):
 
     def __init__(self, config: Optional[LinOptConfig] = None,
                  power_sensor: Optional[PowerSensor] = None,
-                 ipc_sensor: Optional[IpcSensor] = None) -> None:
+                 ipc_sensor: Optional[IpcSensor] = None,
+                 use_kernel: bool = True) -> None:
         self.config = config or LinOptConfig()
+        self.use_kernel = use_kernel
         # Default sensors get *independent* child streams of one parent
         # seed: a shared default_rng(0) would correlate power and IPC
         # noise sample-for-sample once noise is configured.
@@ -206,10 +223,9 @@ class LinOpt(PowerManager):
         levels = (list(initial_levels) if initial_levels is not None
                   else self._top_levels(chip, assignment))
 
-        def evaluate(lv):
-            return evaluate_levels(chip, workload, assignment, lv,
-                                   ipc_multipliers=ipc_multipliers,
-                                   ceff_multipliers=ceff_multipliers)
+        evaluate, kernel = make_evaluator(
+            chip, workload, assignment, ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers, use_kernel=self.use_kernel)
 
         if initial_state is None:
             current = evaluate(levels)
@@ -225,7 +241,7 @@ class LinOpt(PowerManager):
         for iteration in range(self.config.n_iterations):
             levels, current, evals = self._one_pass(
                 chip, workload, assignment, p_target, p_core_max,
-                levels, current, stats, evaluate,
+                levels, current, stats, evaluate, kernel,
                 ceff_multipliers=ceff_multipliers,
                 local=iteration > 0)
             evaluations += evals
@@ -239,11 +255,12 @@ class LinOpt(PowerManager):
                 best = (feasible, metric, list(levels), current)
         levels, current = best[2], best[3]
         return PmResult(levels=tuple(levels), state=current,
-                        evaluations=evaluations, stats=stats)
+                        evaluations=evaluations,
+                        stats=merge_kernel_stats(stats, kernel))
 
     def _one_pass(self, chip, workload, assignment, p_target, p_core_max,
-                  levels, current, stats, evaluate, ceff_multipliers=None,
-                  local=False):
+                  levels, current, stats, evaluate, kernel,
+                  ceff_multipliers=None, local=False):
         """One profile -> LP -> discretise -> correct -> refill pass."""
         n = assignment.n_threads
         evaluations = 0
@@ -356,24 +373,72 @@ class LinOpt(PowerManager):
         refills = 0
         if self.config.refill and meets_constraints(state, p_target,
                                                     p_core_max):
-            improved = True
-            while improved:
-                improved = False
-                order = np.argsort(-efficiency)
-                for i in order:
-                    core_id = assignment.core_of[int(i)]
-                    table = chip.cores[core_id].vf_table
-                    if levels[int(i)] >= table.n_levels - 1:
-                        continue
-                    trial = list(levels)
-                    trial[int(i)] += 1
-                    trial_state = evaluate(trial)
-                    evaluations += 1
-                    if meets_constraints(trial_state, p_target, p_core_max):
-                        levels = trial
-                        state = trial_state
-                        refills += 1
-                        improved = True
-                        break
+            # The efficiency ranking is fixed for the whole pass, so
+            # every round walks the same order; a round ends at its
+            # first feasible step-up and the search restarts.
+            order = np.argsort(-efficiency)
+            n_top = [chip.cores[assignment.core_of[int(i)]]
+                     .vf_table.n_levels - 1 for i in range(n)]
+            if kernel is None:
+                improved = True
+                while improved:
+                    improved = False
+                    for i in order:
+                        if levels[int(i)] >= n_top[int(i)]:
+                            continue
+                        trial = list(levels)
+                        trial[int(i)] += 1
+                        trial_state = evaluate(trial)
+                        evaluations += 1
+                        if meets_constraints(trial_state, p_target,
+                                             p_core_max):
+                            levels = trial
+                            state = trial_state
+                            refills += 1
+                            improved = True
+                            break
+            else:
+                # Batched refill: within one round the candidate list
+                # is fully determined up front (levels only change at
+                # the accepting step, which ends the round), so runs of
+                # candidates go through one kernel call each, walked in
+                # efficiency order. Trials past the first acceptance
+                # are speculative — discarded uncounted, evaluated with
+                # errors="isolate" so a diverging one cannot abort the
+                # rest — and a failure on a trial the walk does reach
+                # re-raises exactly like the serial evaluate call.
+                chunk = _REFILL_SPEC_MIN
+                improved = True
+                while improved:
+                    improved = False
+                    cands = [int(i) for i in order
+                             if levels[int(i)] < n_top[int(i)]]
+                    pos = 0
+                    while pos < len(cands) and not improved:
+                        batch = cands[pos:pos + chunk]
+                        trials = []
+                        for i in batch:
+                            trial = list(levels)
+                            trial[i] += 1
+                            trials.append(trial)
+                        trial_states = kernel.evaluate_levels_batch(
+                            trials, errors="isolate")
+                        for idx, (i, trial_state) in enumerate(
+                                zip(batch, trial_states)):
+                            if isinstance(trial_state, Exception):
+                                raise trial_state
+                            evaluations += 1
+                            if meets_constraints(trial_state, p_target,
+                                                 p_core_max):
+                                levels = trials[idx]
+                                state = trial_state
+                                refills += 1
+                                improved = True
+                                chunk = max(_REFILL_SPEC_MIN,
+                                            min(_REFILL_SPEC_MAX, idx + 2))
+                                break
+                        else:
+                            chunk = min(chunk * 2, _REFILL_SPEC_MAX)
+                        pos += len(batch)
         stats["refills"] += float(refills)
         return levels, state, evaluations

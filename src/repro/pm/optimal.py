@@ -29,9 +29,10 @@ from ..chip import ChipProfile
 from ..config import PowerEnvironment
 from ..opt import MckpItem, solve_mckp
 from ..power import PowerSensor
-from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..runtime.evaluation import Assignment, SystemState
 from ..workloads import Workload
-from .base import PmResult, PowerManager, meets_constraints
+from .base import (PmResult, PowerManager, make_evaluator,
+                   meets_constraints, merge_kernel_stats)
 
 
 class OptimalFrozen(PowerManager):
@@ -40,11 +41,13 @@ class OptimalFrozen(PowerManager):
     name = "OptimalFrozen"
 
     def __init__(self, n_iterations: int = 3,
-                 power_sensor: Optional[PowerSensor] = None) -> None:
+                 power_sensor: Optional[PowerSensor] = None,
+                 use_kernel: bool = True) -> None:
         if n_iterations < 1:
             raise ValueError("n_iterations must be positive")
         self.n_iterations = n_iterations
         self.power_sensor = power_sensor or PowerSensor()
+        self.use_kernel = use_kernel
 
     def set_levels(
         self,
@@ -65,10 +68,12 @@ class OptimalFrozen(PowerManager):
         ceff_mult = (np.ones(n) if ceff_multipliers is None
                      else np.asarray(ceff_multipliers, dtype=float))
 
-        def evaluate(lv):
-            return evaluate_levels(chip, workload, assignment, lv,
-                                   ipc_multipliers=ipc_multipliers,
-                                   ceff_multipliers=ceff_multipliers)
+        # The MCKP solve decides the next point from frozen tables, so
+        # evaluations here are inherently sequential — the kernel still
+        # pays off as a faster single-candidate path.
+        evaluate, kernel = make_evaluator(
+            chip, workload, assignment, ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers, use_kernel=self.use_kernel)
 
         levels = (list(initial_levels) if initial_levels is not None
                   else self._top_levels(chip, assignment))
@@ -144,5 +149,6 @@ class OptimalFrozen(PowerManager):
             levels=tuple(levels),
             state=current,
             evaluations=evaluations,
-            stats={"mckp_nodes": float(total_nodes)},
+            stats=merge_kernel_stats(
+                {"mckp_nodes": float(total_nodes)}, kernel),
         )

@@ -16,21 +16,84 @@ for LinOpt. As in Section 6.5:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from ..anneal import simulated_annealing
 from ..chip import ChipProfile
 from ..config import PowerEnvironment
-from ..runtime.evaluation import Assignment, SystemState, evaluate_levels
+from ..runtime.evaluation import Assignment, SystemState
 from ..workloads import Workload
-from .base import PmResult, PowerManager, meets_constraints
+from .base import (PmResult, PowerManager, make_evaluator,
+                   meets_constraints, merge_kernel_stats)
 from .foxton import FoxtonStar
 
 # Penalty (in MIPS per watt of violation) pushing the search back into
 # the feasible region.
 CONSTRAINT_PENALTY_MIPS_PER_W = 50_000.0
+
+# Bound on the evaluated-state memo. The annealing run proposes at
+# most ``n_evaluations`` unique points and the quench a few hundred
+# more, so at the default settings nothing is ever evicted — the bound
+# only stops a long-lived manager (or an aggressive caller) from
+# holding every SystemState it ever saw.
+STATE_CACHE_CAPACITY = 4096
+
+# Candidates per speculative quench batch. Quench candidates are
+# planned under the assumption that none improves (the common case for
+# a near-converged descent), so an acceptance discards the rest of the
+# batch — kept small enough that the waste stays negligible.
+_SPEC_CHUNK = 8
+
+
+def _greedy_walk(
+    seq_len: int,
+    cand_at: Callable[[int, Tuple[int, ...]],
+                      Tuple[Optional[Tuple[int, ...]], int]],
+    energy: Callable[[Tuple[int, ...]], float],
+    current: Tuple[int, ...],
+    current_e: float,
+    prefetch=None,
+    on_accept=None,
+):
+    """First-improvement walk over an indexed candidate sequence.
+
+    ``cand_at(k, current)`` materialises the candidate at sequence
+    position ``k`` given the walk's current point: it returns
+    ``(candidate, next_k)``, with ``candidate=None`` for positions the
+    sweep skips (``next_k`` then also encodes serial ``break``
+    semantics by jumping past the rest of a row). An improving
+    candidate is accepted immediately and the walk *continues* from
+    ``next_k`` — exactly the quench semantics of the serial loops,
+    which both the serial and the batched path route through so their
+    traversal order cannot drift apart.
+
+    ``prefetch(k, current)``, if given, is called right before a
+    candidate is evaluated — the batched path uses it to evaluate a
+    whole run of upcoming candidates in one kernel call under the
+    assumption that none will be accepted. ``on_accept`` is called on
+    every acceptance so the prefetcher can discard speculation made
+    under the now-stale assumption.
+    """
+    improved = False
+    k = 0
+    while k < seq_len:
+        cand, next_k = cand_at(k, current)
+        if cand is None:
+            k = next_k
+            continue
+        if prefetch is not None:
+            prefetch(k, current)
+        cand_e = energy(cand)
+        if cand_e < current_e - 1e-9:
+            current, current_e = cand, cand_e
+            improved = True
+            if on_accept is not None:
+                on_accept()
+        k = next_k
+    return current, current_e, improved
 
 
 class SAnnManager(PowerManager):
@@ -40,7 +103,8 @@ class SAnnManager(PowerManager):
 
     def __init__(self, n_evaluations: int = 2000,
                  initial_temp_per_thread: float = 150.0,
-                 objective: str = "mips") -> None:
+                 objective: str = "mips",
+                 use_kernel: bool = True) -> None:
         if n_evaluations < 1:
             raise ValueError("n_evaluations must be positive")
         if initial_temp_per_thread <= 0:
@@ -50,6 +114,7 @@ class SAnnManager(PowerManager):
         self.n_evaluations = n_evaluations
         self.initial_temp_per_thread = initial_temp_per_thread
         self.objective = objective
+        self.use_kernel = use_kernel
 
     def set_levels(
         self,
@@ -69,7 +134,11 @@ class SAnnManager(PowerManager):
         n_levels = [chip.cores[c].vf_table.n_levels
                     for c in assignment.core_of]
 
-        greedy = FoxtonStar().set_levels(
+        evaluate, kernel = make_evaluator(
+            chip, workload, assignment, ipc_multipliers=ipc_multipliers,
+            ceff_multipliers=ceff_multipliers, use_kernel=self.use_kernel)
+
+        greedy = FoxtonStar(use_kernel=self.use_kernel).set_levels(
             chip, workload, assignment, env,
             initial_levels=initial_levels, initial_state=initial_state,
             ipc_multipliers=ipc_multipliers,
@@ -80,7 +149,15 @@ class SAnnManager(PowerManager):
         if meets_constraints(greedy.state, p_target, p_core_max):
             best_feasible = (greedy.levels, greedy.state)
 
-        state_cache = {}
+        # LRU memo of evaluated states, plus the speculative side
+        # buffer: quench batches land in ``spec`` first and are only
+        # committed to the memo (and counted as evaluations) when the
+        # walk actually consumes them — a speculative result the serial
+        # sweep would never have computed is silently discarded.
+        state_cache: "OrderedDict[Tuple[int, ...], SystemState]" = (
+            OrderedDict())
+        spec: dict = {}
+        cache_hits = 0
 
         def metric_of(state) -> float:
             if self.objective == "weighted":
@@ -90,15 +167,21 @@ class SAnnManager(PowerManager):
             return state.throughput_mips
 
         def energy(levels: Tuple[int, ...]) -> float:
-            nonlocal best_feasible, evaluations
+            nonlocal best_feasible, evaluations, cache_hits
             if levels in state_cache:
                 state = state_cache[levels]
+                state_cache.move_to_end(levels)
+                cache_hits += 1
             else:
-                state = evaluate_levels(chip, workload, assignment,
-                                        list(levels),
-                                        ipc_multipliers=ipc_multipliers,
-                                        ceff_multipliers=ceff_multipliers)
+                if levels in spec:
+                    state = spec.pop(levels)
+                    if isinstance(state, Exception):
+                        raise state
+                else:
+                    state = evaluate(levels)
                 state_cache[levels] = state
+                if len(state_cache) > STATE_CACHE_CAPACITY:
+                    state_cache.popitem(last=False)
                 evaluations += 1
             excess = max(state.total_power - p_target, 0.0)
             excess += float(np.sum(np.maximum(
@@ -139,56 +222,95 @@ class SAnnManager(PowerManager):
         # Final quench: greedy single-step descent from the best state
         # (the tuned SAnn of Section 6.5 reaches within 1% of the
         # exhaustive optimum; the quench closes the stochastic tail).
+        # Both sweeps are expressed as indexed candidate sequences so
+        # the serial and the batched path share one traversal
+        # (:func:`_greedy_walk`) and cannot diverge.
+
+        def cand_pm(k, cur):
+            # Single +-1 moves: position 2i is thread i up, 2i+1 down.
+            i, which = divmod(k, 2)
+            delta = 1 if which == 0 else -1
+            lv = int(np.clip(cur[i] + delta, 0, n_levels[i] - 1))
+            if lv == cur[i]:
+                return None, k + 1
+            cand = list(cur)
+            cand[i] = lv
+            return tuple(cand), k + 1
+
+        def cand_trade(k, cur):
+            # Pairwise trades (step thread i down, thread j up):
+            # crosses the budget ridge single moves cannot. Position
+            # i*n+j is the (i, j) pair; a drained thread i skips its
+            # whole row (the serial loop's inner break).
+            i, j = divmod(k, n)
+            if cur[i] == 0:
+                return None, (i + 1) * n
+            if j == i or cur[j] >= n_levels[j] - 1:
+                return None, k + 1
+            cand = list(cur)
+            cand[i] -= 1
+            cand[j] += 1
+            return tuple(cand), k + 1
+
+        def make_prefetch(seq_len, cand_at):
+            # Evaluate the next run of uncached candidates in one
+            # kernel batch, assuming none of them improves (so the
+            # walk's current point stays fixed). errors="isolate"
+            # because the run is speculative: a diverging candidate
+            # the serial sweep would never reach must not abort its
+            # neighbours, and one the walk *does* reach re-raises at
+            # consumption time, exactly like the serial call.
+            def prefetch(k, cur):
+                first, _ = cand_at(k, cur)
+                if first in state_cache or first in spec:
+                    return
+                plan = []
+                kk = k
+                while kk < seq_len and len(plan) < _SPEC_CHUNK:
+                    cand, kk = cand_at(kk, cur)
+                    if (cand is None or cand in state_cache
+                            or cand in spec or cand in plan):
+                        continue
+                    plan.append(cand)
+                results = kernel.evaluate_levels_batch(
+                    [list(c) for c in plan], errors="isolate")
+                for cand, res in zip(plan, results):
+                    spec[cand] = res
+            return prefetch
+
         current = result.best_state
         current_e = energy(current)
+        pm_prefetch = (make_prefetch(2 * n, cand_pm)
+                       if kernel is not None else None)
+        trade_prefetch = (make_prefetch(n * n, cand_trade)
+                          if kernel is not None else None)
         for _ in range(6):
-            improved = False
-            # Single +-1 moves.
-            for i in range(n):
-                for delta in (+1, -1):
-                    cand = list(current)
-                    cand[i] = int(np.clip(cand[i] + delta, 0,
-                                          n_levels[i] - 1))
-                    cand = tuple(cand)
-                    if cand == current:
-                        continue
-                    cand_e = energy(cand)
-                    if cand_e < current_e - 1e-9:
-                        current, current_e = cand, cand_e
-                        improved = True
-            # Pairwise trades (step one thread down, another up):
-            # crosses the budget ridge single moves cannot.
-            for i in range(n):
-                for j in range(n):
-                    # current mutates inside the loop: re-check bounds
-                    # for every candidate pair.
-                    if current[i] == 0:
-                        break
-                    if j == i or current[j] >= n_levels[j] - 1:
-                        continue
-                    cand = list(current)
-                    cand[i] -= 1
-                    cand[j] += 1
-                    cand = tuple(cand)
-                    cand_e = energy(cand)
-                    if cand_e < current_e - 1e-9:
-                        current, current_e = cand, cand_e
-                        improved = True
-            if not improved:
+            current, current_e, imp_pm = _greedy_walk(
+                2 * n, cand_pm, energy, current, current_e,
+                prefetch=pm_prefetch, on_accept=spec.clear)
+            current, current_e, imp_trade = _greedy_walk(
+                n * n, cand_trade, energy, current, current_e,
+                prefetch=trade_prefetch, on_accept=spec.clear)
+            if not (imp_pm or imp_trade):
                 break
+        spec.clear()
 
         if best_feasible is not None:
             levels, state = best_feasible
         else:
             levels = result.best_state
-            state = state_cache[levels]
+            state = state_cache.get(levels)
+            if state is None:  # evicted by the LRU bound: re-evaluate
+                state = evaluate(levels)
+                evaluations += 1
         return PmResult(
             levels=tuple(levels),
             state=state,
             evaluations=evaluations,
-            stats={
+            stats=merge_kernel_stats({
                 "sa_evaluations": float(result.evaluations),
                 "sa_acceptance": float(result.acceptance_rate),
                 "feasible": float(best_feasible is not None),
-            },
+                "sa_cache_hits": float(cache_hits),
+            }, kernel),
         )

@@ -27,15 +27,40 @@ class EvaluationCounter:
     The online simulation's perf benchmark uses this to assert that the
     event-driven loop performs far fewer :func:`evaluate_levels` calls
     than the per-millisecond reference loop.
+
+    The batched evaluation kernel (:mod:`repro.runtime.kernel`) also
+    reports here: ``count`` includes every batched candidate (each is
+    one full fixed-point solve), and the ``batch_*`` / ``kernel_*``
+    fields record how the batched path was exercised — batch calls,
+    per-batch-size histogram, total fixed-point iterations, and kernel
+    wall time — for the BENCH_* emitters and the CI perf gate.
     """
 
-    __slots__ = ("count",)
+    __slots__ = ("count", "batch_calls", "batched_evaluations",
+                 "fixed_point_iterations", "kernel_wall_s",
+                 "batch_size_hist")
 
     def __init__(self) -> None:
-        self.count = 0
+        self.reset()
 
     def reset(self) -> None:
         self.count = 0
+        self.batch_calls = 0
+        self.batched_evaluations = 0
+        self.fixed_point_iterations = 0
+        self.kernel_wall_s = 0.0
+        self.batch_size_hist: dict = {}
+
+    def record_batch(self, batch_size: int, iterations: int,
+                     wall_s: float) -> None:
+        """Record one kernel batch (``batch_size`` candidates)."""
+        self.count += batch_size
+        self.batch_calls += 1
+        self.batched_evaluations += batch_size
+        self.fixed_point_iterations += iterations
+        self.kernel_wall_s += wall_s
+        self.batch_size_hist[batch_size] = (
+            self.batch_size_hist.get(batch_size, 0) + 1)
 
 
 #: Process-global counter, incremented by every evaluate_levels call.
@@ -202,9 +227,7 @@ def evaluate_explicit(
     for i, core in enumerate(assignment.core_of):
         block_dyn[core] = core_dyn[i]
     l2_dyn_total = L2_DYNAMIC_FRACTION * float(core_dyn.sum())
-    l2_share = np.array([r.area for r in chip.floorplan.l2_blocks])
-    l2_share = l2_share / l2_share.sum()
-    block_dyn[n_cores:] = l2_dyn_total * l2_share
+    block_dyn[n_cores:] = l2_dyn_total * chip.floorplan.l2_area_share
 
     core_volt = np.zeros(n_cores)
     for i, core in enumerate(assignment.core_of):

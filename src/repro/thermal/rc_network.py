@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import linalg
+from scipy.linalg import get_lapack_funcs
 
 from ..floorplan import Floorplan, Rect
 
@@ -34,6 +35,19 @@ LATERAL_CONDUCTANCE_W_PER_K_MM = 0.05
 # Heat-sink base (ambient node) temperature, kelvin. Lumps the true
 # ambient with the sink/spreader resistance at typical load.
 DEFAULT_AMBIENT_K = 333.15  # 60 C
+
+# LAPACK dgetrs handle, resolved once (all networks are float64). Calling
+# the raw routine skips scipy's per-call wrapper/validation layers, which
+# dominate a 22x22 triangular solve; the arithmetic is the very routine
+# ``linalg.lu_solve`` dispatches to, so results are bitwise unchanged.
+_GETRS = None
+
+
+def _getrs_for(lu_matrix: np.ndarray):
+    global _GETRS
+    if _GETRS is None:
+        _GETRS, = get_lapack_funcs(("getrs",), (lu_matrix,))
+    return _GETRS
 
 
 def shared_edge_length(a: Rect, b: Rect, tol: float = 1e-9) -> float:
@@ -98,6 +112,37 @@ class ThermalNetwork:
             raise ValueError("block powers must be non-negative")
         rhs = p + self._g_amb * self.ambient_k
         return linalg.lu_solve(self._lu, rhs)
+
+    def solve_many(self, power_w: np.ndarray) -> np.ndarray:
+        """Batched :meth:`solve`: one power vector per row.
+
+        Returns a ``(B, n_blocks)`` temperature matrix whose row ``b``
+        is bitwise-identical to ``solve(power_w[b])``. LAPACK's
+        multi-RHS ``getrs`` routes through blocked ``dtrsm`` kernels
+        whose per-column rounding differs from the single-RHS solve,
+        so the triangular solves deliberately stay per-row — each a
+        direct single-vector ``getrs`` call (the routine ``lu_solve``
+        itself dispatches to), solving in place into the RHS matrix so
+        the loop carries no python wrapper or allocation overhead.
+        Validation is hoisted out of the loop.
+        """
+        p = np.asarray(power_w, dtype=float)
+        if p.ndim != 2 or p.shape[1] != self.n_blocks:
+            raise ValueError(
+                f"power matrix must have {self.n_blocks} columns")
+        bad = np.nonzero(np.any(p < 0, axis=1))[0]
+        if bad.size:
+            raise ValueError("block powers must be non-negative")
+        rhs = p + self._g_amb * self.ambient_k
+        lu, piv = self._lu
+        getrs = _getrs_for(lu)
+        for b in range(rhs.shape[0]):
+            _, info = getrs(lu, piv, rhs[b], overwrite_b=True)
+            if info != 0:
+                raise ValueError(
+                    f"illegal value in {-info}-th argument of "
+                    "internal getrs")
+        return rhs
 
     def core_temperatures(self, temps: np.ndarray) -> np.ndarray:
         """Core-node slice of a solved temperature vector."""

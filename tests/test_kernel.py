@@ -1,0 +1,332 @@
+"""Bitwise-identity and regression tests for the batched EvalKernel.
+
+The contract of :class:`repro.runtime.kernel.EvalKernel` is that every
+row of a batch is *bitwise identical* to the serial
+:func:`repro.runtime.evaluation.evaluate_levels` call for the same
+levels — including which candidates raise, with what exception — and
+that the policies rewired onto it return exactly the decisions,
+evaluation counts and states of their serial implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import COST_PERFORMANCE, LOW_POWER
+from repro.pm import (BarrierAwarePm, ExhaustiveSearch, FoxtonStar, LinOpt,
+                      LinOptConfig, OptimalFrozen, SAnnManager,
+                      fit_power_lines)
+from repro.power import PowerSensor
+from repro.runtime.evaluation import (EVALUATION_COUNTER, Assignment,
+                                      evaluate_levels)
+from repro.runtime.kernel import EvalKernel
+from repro.workloads import make_workload
+
+
+def _random_case(chip, n_threads, seed):
+    """(workload, assignment, level matrix) drawn from one rng stream."""
+    rng = np.random.default_rng(seed)
+    workload = make_workload(n_threads, rng)
+    cores = rng.choice(chip.n_cores, size=n_threads, replace=False)
+    assignment = Assignment(core_of=tuple(int(c) for c in cores))
+    max_lv = min(chip.cores[c].vf_table.n_levels
+                 for c in assignment.core_of)
+    matrix = rng.integers(0, max_lv, size=(37, n_threads))
+    return workload, assignment, matrix
+
+
+def _assert_state_bitwise(batch_state, serial_state):
+    np.testing.assert_array_equal(batch_state.voltages,
+                                  serial_state.voltages)
+    np.testing.assert_array_equal(batch_state.freqs, serial_state.freqs)
+    np.testing.assert_array_equal(batch_state.ipcs, serial_state.ipcs)
+    np.testing.assert_array_equal(batch_state.core_dynamic,
+                                  serial_state.core_dynamic)
+    np.testing.assert_array_equal(batch_state.core_leakage,
+                                  serial_state.core_leakage)
+    np.testing.assert_array_equal(batch_state.block_temps,
+                                  serial_state.block_temps)
+    assert batch_state.l2_power == serial_state.l2_power
+    assert batch_state.total_power == serial_state.total_power
+
+
+class TestBitwiseIdentity:
+    """Property: batch rows == serial evaluations, bit for bit."""
+
+    @pytest.mark.parametrize("n_threads,seed", [(1, 3), (4, 4), (8, 5)])
+    def test_batch_matches_serial(self, small_chip, n_threads, seed):
+        wl, asg, matrix = _random_case(small_chip, n_threads, seed)
+        kernel = EvalKernel(small_chip, wl, asg)
+        states = kernel.evaluate_levels_batch(matrix)
+        assert len(states) == matrix.shape[0]
+        for row, state in zip(matrix, states):
+            ref = evaluate_levels(small_chip, wl, asg, list(row))
+            _assert_state_bitwise(state, ref)
+
+    def test_full_die_batch(self, chip):
+        wl, asg, matrix = _random_case(chip, 6, 17)
+        kernel = EvalKernel(chip, wl, asg)
+        states = kernel.evaluate_levels_batch(matrix[:20])
+        for row, state in zip(matrix[:20], states):
+            _assert_state_bitwise(
+                state, evaluate_levels(chip, wl, asg, list(row)))
+
+    def test_phase_multipliers(self, small_chip):
+        wl, asg, matrix = _random_case(small_chip, 4, 6)
+        rng = np.random.default_rng(8)
+        ipc_m = rng.uniform(0.6, 1.4, size=4)
+        ceff_m = rng.uniform(0.6, 1.4, size=4)
+        kernel = EvalKernel(small_chip, wl, asg,
+                            ipc_multipliers=ipc_m, ceff_multipliers=ceff_m)
+        for row, state in zip(matrix[:10],
+                              kernel.evaluate_levels_batch(matrix[:10])):
+            ref = evaluate_levels(small_chip, wl, asg, list(row),
+                                  ipc_multipliers=ipc_m,
+                                  ceff_multipliers=ceff_m)
+            _assert_state_bitwise(state, ref)
+
+    def test_single_candidate_wrapper(self, small_chip):
+        wl, asg, matrix = _random_case(small_chip, 4, 7)
+        kernel = EvalKernel(small_chip, wl, asg)
+        state = kernel.evaluate_levels(list(matrix[0]))
+        _assert_state_bitwise(
+            state, evaluate_levels(small_chip, wl, asg, list(matrix[0])))
+
+    def test_batch_independent_of_neighbours(self, small_chip):
+        """A row's result cannot depend on what it is batched with."""
+        wl, asg, matrix = _random_case(small_chip, 4, 9)
+        kernel = EvalKernel(small_chip, wl, asg)
+        together = kernel.evaluate_levels_batch(matrix)
+        alone = [kernel.evaluate_levels_batch(matrix[b:b + 1])[0]
+                 for b in range(matrix.shape[0])]
+        for a, b in zip(together, alone):
+            _assert_state_bitwise(a, b)
+
+
+class TestErrorParity:
+    """Failing candidates fail identically to the serial path."""
+
+    def _runaway_setup(self, small_chip):
+        rng = np.random.default_rng(42)
+        n = 8
+        wl = make_workload(n, rng)
+        cores = rng.choice(small_chip.n_cores, size=n, replace=False)
+        asg = Assignment(core_of=tuple(int(c) for c in cores))
+        max_lv = min(small_chip.cores[c].vf_table.n_levels
+                     for c in asg.core_of)
+        # Enormous dynamic power makes the top-level rows run away.
+        ceff_m = [40.0] * n
+        matrix = np.zeros((12, n), dtype=int)
+        matrix[[1, 4, 9]] = max_lv - 1
+        matrix[5] = 3
+        return wl, asg, ceff_m, matrix
+
+    def test_isolate_matches_serial_per_row(self, small_chip):
+        wl, asg, ceff_m, matrix = self._runaway_setup(small_chip)
+        kernel = EvalKernel(small_chip, wl, asg, ceff_multipliers=ceff_m)
+        results = kernel.evaluate_levels_batch(matrix, errors="isolate")
+        n_err = 0
+        for row, item in zip(matrix, results):
+            try:
+                ref = evaluate_levels(small_chip, wl, asg, list(row),
+                                      ceff_multipliers=ceff_m)
+                ref_err = None
+            except Exception as exc:  # noqa: BLE001 — parity check
+                ref, ref_err = None, exc
+            if ref_err is not None:
+                n_err += 1
+                assert isinstance(item, Exception)
+                assert type(item) is type(ref_err)
+                assert str(item) == str(ref_err)
+            else:
+                _assert_state_bitwise(item, ref)
+        assert n_err > 0  # the setup must actually exercise failures
+
+    def test_raise_mode_raises_lowest_index_error(self, small_chip):
+        wl, asg, ceff_m, matrix = self._runaway_setup(small_chip)
+        kernel = EvalKernel(small_chip, wl, asg, ceff_multipliers=ceff_m)
+        isolated = kernel.evaluate_levels_batch(matrix, errors="isolate")
+        first = next(i for i, r in enumerate(isolated)
+                     if isinstance(r, Exception))
+        with pytest.raises(type(isolated[first]),
+                           match=str(isolated[first]).split(":")[0]):
+            kernel.evaluate_levels_batch(matrix)
+
+    def test_out_of_range_level_message(self, small_chip):
+        wl, asg, matrix = _random_case(small_chip, 4, 10)
+        kernel = EvalKernel(small_chip, wl, asg)
+        bad = matrix[:3].copy()
+        bad[1, 2] = 99
+        with pytest.raises(ValueError) as batch_err:
+            kernel.evaluate_levels_batch(bad)
+        with pytest.raises(ValueError) as serial_err:
+            evaluate_levels(small_chip, wl, asg, list(bad[1]))
+        assert str(batch_err.value) == str(serial_err.value)
+
+    def test_shape_validation(self, small_chip):
+        wl, asg, _ = _random_case(small_chip, 4, 11)
+        kernel = EvalKernel(small_chip, wl, asg)
+        with pytest.raises(ValueError, match="one level per thread"):
+            kernel.evaluate_levels_batch(np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError, match="raise.*isolate"):
+            kernel.evaluate_levels_batch(np.zeros((2, 4), dtype=int),
+                                         errors="always")
+        assert kernel.evaluate_levels_batch(
+            np.zeros((0, 4), dtype=int)) == []
+
+
+class TestKernelStats:
+    def test_stats_and_global_counter(self, small_chip):
+        wl, asg, matrix = _random_case(small_chip, 4, 12)
+        kernel = EvalKernel(small_chip, wl, asg)
+        EVALUATION_COUNTER.reset()
+        kernel.evaluate_levels_batch(matrix[:5])
+        kernel.evaluate_levels_batch(matrix[:2])
+        stats = kernel.stats
+        assert stats.evaluations == 7
+        assert stats.batch_calls == 2
+        assert stats.batch_size_hist == {5: 1, 2: 1}
+        assert stats.fixed_point_iterations > 0
+        assert stats.wall_s > 0
+        assert EVALUATION_COUNTER.count == 7
+        assert EVALUATION_COUNTER.batch_calls == 2
+        assert EVALUATION_COUNTER.batch_size_hist == {5: 1, 2: 1}
+        scalars = stats.as_result_stats()
+        assert scalars["kernel_evaluations"] == 7.0
+        assert scalars["kernel_batches"] == 2.0
+        assert scalars["kernel_batch_max"] == 5.0
+        assert scalars["kernel_batch_mean"] == pytest.approx(3.5)
+
+
+def _pm_case(chip, n_threads, seed):
+    rng = np.random.default_rng(seed)
+    wl = make_workload(n_threads, rng)
+    cores = rng.choice(chip.n_cores, size=n_threads, replace=False)
+    return wl, Assignment(core_of=tuple(int(c) for c in cores))
+
+
+class TestPolicyRegression:
+    """use_kernel=True must change nothing but speed and stats."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda uk: FoxtonStar(use_kernel=uk),
+        lambda uk: SAnnManager(n_evaluations=150, use_kernel=uk),
+        lambda uk: SAnnManager(n_evaluations=100, objective="weighted",
+                               use_kernel=uk),
+        lambda uk: LinOpt(LinOptConfig(n_iterations=2), use_kernel=uk),
+        lambda uk: OptimalFrozen(n_iterations=2, use_kernel=uk),
+        lambda uk: BarrierAwarePm(use_kernel=uk),
+    ], ids=["foxton", "sann", "sann-weighted", "linopt", "optimal",
+            "barrier"])
+    @pytest.mark.parametrize("env", [COST_PERFORMANCE, LOW_POWER],
+                             ids=["cost-perf", "low-power"])
+    def test_kernel_matches_serial_decision(self, small_chip, factory,
+                                            env):
+        wl, asg = _pm_case(small_chip, 5, 21)
+        with_kernel = factory(True).set_levels(
+            small_chip, wl, asg, env, rng=np.random.default_rng(33))
+        serial = factory(False).set_levels(
+            small_chip, wl, asg, env, rng=np.random.default_rng(33))
+        assert with_kernel.levels == serial.levels
+        assert with_kernel.evaluations == serial.evaluations
+        _assert_state_bitwise(with_kernel.state, serial.state)
+        non_kernel = {k: v for k, v in with_kernel.stats.items()
+                      if not k.startswith("kernel_")}
+        assert non_kernel == {k: v for k, v in serial.stats.items()
+                              if not k.startswith("kernel_")}
+        assert with_kernel.stats["kernel_evaluations"] > 0
+        assert "kernel_evaluations" not in serial.stats
+
+    def test_exhaustive_matches_serial_decision(self, small_chip):
+        wl, asg = _pm_case(small_chip, 3, 23)
+        with_kernel = ExhaustiveSearch(use_kernel=True).set_levels(
+            small_chip, wl, asg, COST_PERFORMANCE)
+        serial = ExhaustiveSearch(use_kernel=False).set_levels(
+            small_chip, wl, asg, COST_PERFORMANCE)
+        assert with_kernel.levels == serial.levels
+        assert with_kernel.evaluations == serial.evaluations
+        _assert_state_bitwise(with_kernel.state, serial.state)
+        assert (with_kernel.stats["combinations"]
+                == serial.stats["combinations"])
+        # Every combination went through the kernel, none was wasted.
+        assert (with_kernel.stats["kernel_evaluations"]
+                == with_kernel.evaluations)
+
+    def test_sann_reports_cache_hits(self, small_chip):
+        wl, asg = _pm_case(small_chip, 4, 25)
+        result = SAnnManager(n_evaluations=150).set_levels(
+            small_chip, wl, asg, COST_PERFORMANCE,
+            rng=np.random.default_rng(1))
+        assert result.stats["sa_cache_hits"] > 0
+
+    def test_sann_cache_bound_does_not_change_decision(
+            self, small_chip, monkeypatch):
+        """A tiny LRU bound may cost re-evaluations, never the answer."""
+        wl, asg = _pm_case(small_chip, 4, 27)
+        reference = SAnnManager(n_evaluations=80).set_levels(
+            small_chip, wl, asg, COST_PERFORMANCE,
+            rng=np.random.default_rng(2))
+        monkeypatch.setattr("repro.pm.sann.STATE_CACHE_CAPACITY", 4)
+        bounded = SAnnManager(n_evaluations=80).set_levels(
+            small_chip, wl, asg, COST_PERFORMANCE,
+            rng=np.random.default_rng(2))
+        assert bounded.levels == reference.levels
+        _assert_state_bitwise(bounded.state, reference.state)
+        # With four live entries nearly every revisit re-evaluates.
+        assert bounded.evaluations >= reference.evaluations
+
+
+class TestFitPowerLinesWindow:
+    """The local profiling window must honour n_profile_voltages."""
+
+    class CountingPowerSensor(PowerSensor):
+        def __init__(self):
+            super().__init__()
+            self.reads = 0
+
+        def read(self, true_value):
+            self.reads += 1
+            return super().read(true_value)
+
+    @pytest.mark.parametrize("n_voltages,expected", [(2, 2), (3, 3),
+                                                     (5, 5)])
+    def test_local_window_point_count(self, small_chip, n_voltages,
+                                      expected):
+        wl, asg = _pm_case(small_chip, 2, 29)
+        temps = np.full(small_chip.n_cores, 350.0)
+        sensor = self.CountingPowerSensor()
+        # Centre 4, span 2 on a 9-level table: window levels 2..6, wide
+        # enough to hold all requested point counts distinctly.
+        fit_power_lines(small_chip, wl, asg, temps, n_voltages, sensor,
+                        center_levels=[4, 4], span_levels=2)
+        assert sensor.reads == expected * asg.n_threads
+
+    def test_narrow_window_collapses_duplicates(self, small_chip):
+        wl, asg = _pm_case(small_chip, 2, 29)
+        temps = np.full(small_chip.n_cores, 350.0)
+        sensor = self.CountingPowerSensor()
+        # Window 0..1 has two levels: even 5 requested points collapse.
+        fit_power_lines(small_chip, wl, asg, temps, 5, sensor,
+                        center_levels=[0, 0], span_levels=1)
+        assert sensor.reads == 2 * asg.n_threads
+
+    def test_local_fit_matches_window_polyfit(self, small_chip):
+        """n_voltages=2 fits exactly the window's two endpoints."""
+        wl, asg = _pm_case(small_chip, 2, 29)
+        temps = np.full(small_chip.n_cores, 350.0)
+        fit = fit_power_lines(small_chip, wl, asg, temps, 2,
+                              PowerSensor(), center_levels=[4, 4],
+                              span_levels=2)
+        i = 0
+        core = small_chip.cores[asg.core_of[i]]
+        table = core.vf_table
+        xs, ys = [], []
+        for lv in (2, 6):
+            v = float(table.voltages[lv])
+            f = float(table.freqs[lv])
+            p = (wl[i].dynamic_power_at(v, f)
+                 + core.leakage.power(v, 350.0))
+            xs.append(v)
+            ys.append(p)
+        slope, intercept = np.polyfit(np.array(xs), np.array(ys), 1)
+        assert fit.slope[i] == pytest.approx(slope)
+        assert fit.intercept[i] == pytest.approx(intercept)
