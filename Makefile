@@ -2,10 +2,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-gate bench-baseline coverage
+.PHONY: test lint chaos bench bench-gate bench-baseline coverage
 
 test:
 	$(PYTHON) -m pytest -x -q -W error::RuntimeWarning
+
+# Fault-injection suite under a real worker pool (CI's 'chaos' job).
+chaos:
+	REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q tests/test_chaos.py tests/test_journal.py
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks

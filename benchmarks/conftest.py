@@ -22,14 +22,19 @@ from typing import Any, Dict, Optional
 import pytest
 
 from repro.experiments.common import ChipFactory, full_run
-from repro.parallel import get_default_cache, resolve_workers
+from repro.parallel import (
+    get_default_cache,
+    get_run_health,
+    resolve_workers,
+)
 from repro.report.serialize import to_jsonable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-# Cache-counter snapshot taken at test start so each BENCH json
-# reports the hits/misses/stores of *its* test only.
+# Cache-counter and run-health snapshots taken at test start so each
+# BENCH json reports the deltas of *its* test only.
 _cache_mark: Dict[str, int] = {}
+_health_mark: Dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -46,10 +51,11 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture(autouse=True)
 def _mark_cache_stats():
-    """Snapshot the shared cache counters before every benchmark."""
+    """Snapshot cache and run-health counters before every benchmark."""
     cache = get_default_cache()
-    global _cache_mark
+    global _cache_mark, _health_mark
     _cache_mark = cache.snapshot() if cache is not None else {}
+    _health_mark = get_run_health().snapshot()
     yield
 
 
@@ -59,6 +65,17 @@ def _cache_stats_delta() -> Optional[Dict[str, int]]:
         return None
     return {key: value - _cache_mark.get(key, 0)
             for key, value in cache.snapshot().items()}
+
+
+def _health_delta() -> Dict[str, float]:
+    """This test's RunHealth deltas (retries, fallbacks, walls).
+
+    The perf gate fails any clean benchmark whose delta shows a
+    serial-fallback activation: robustness machinery must be
+    zero-cost on the happy path.
+    """
+    return {key: round(value - _health_mark.get(key, 0), 9)
+            for key, value in get_run_health().snapshot().items()}
 
 
 def _wall_time_s(benchmark) -> Optional[float]:
@@ -93,6 +110,7 @@ def emit(results_dir: pathlib.Path, name: str, table: str,
         "workers": resolve_workers(None),
         "wall_time_s": _wall_time_s(benchmark),
         "cache": _cache_stats_delta(),
+        "health": _health_delta(),
         "metrics": to_jsonable(metrics or {}),
     }
     if extra:

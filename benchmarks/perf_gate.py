@@ -7,8 +7,10 @@ those records against the committed ``benchmarks/baseline.json``:
 
 * ``check`` — fail (exit 1) when a baselined benchmark is missing,
   when its wall time regresses more than ``--max-regression`` (30 %
-  by default; walls under the noise floor are skipped), or when a
-  deterministic figure metric drifts beyond ``--rtol``;
+  by default; walls under the noise floor are skipped), when a
+  deterministic figure metric drifts beyond ``--rtol``, or when the
+  record's ``RunHealth`` delta shows a serial-fallback activation
+  (the fault-tolerant runner must stay zero-cost on the happy path);
 * ``update`` — regenerate the baseline from the current records
   (run ``make bench-baseline``; commit the result).
 
@@ -95,6 +97,22 @@ def check(records: Dict[str, Dict[str, Any]],
                     f"{name}: wall time {wall:.3f}s exceeds "
                     f"{base_wall:.3f}s baseline by more than "
                     f"{max_regression:.0%} (limit {limit:.3f}s)")
+
+        health = record.get("health") or {}
+        # Robustness machinery must be zero-cost on the happy path: a
+        # clean benchmark run that needed the serial fallback means a
+        # worker died or hung under normal conditions — fail loudly.
+        fallback = (health.get("serial_fallback_shards", 0)
+                    or health.get("serial_fallback_items", 0))
+        if fallback:
+            failures.append(
+                f"{name}: RunHealth reports serial-fallback activation "
+                f"in a clean benchmark run ({health})")
+        for key in ("retries", "timeouts", "broken_pools",
+                    "narrowed_shards"):
+            if health.get(key, 0):
+                warnings.append(f"{name}: RunHealth {key}="
+                                f"{health[key]} in a clean run")
 
         base_metrics = base.get("metrics", {})
         metrics = record.get("metrics", {})

@@ -5,10 +5,15 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig4 [--dies 200]
     python -m repro.cli fig11 [--trials 20] [--static] [--no-sann]
-    python -m repro.cli all
+    python -m repro.cli all [--resume]
+    python -m repro.cli cache stats|verify|gc|clear
 
 ``REPRO_FULL=1`` switches the defaults to the paper's full scale
-(200 dies, 20 trials) — expect long runtimes.
+(200 dies, 20 trials) — expect long runtimes. ``--resume`` (or
+``REPRO_RESUME=1``) journals every completed (experiment, die,
+policy) unit to ``results/<run>/journal.jsonl`` and picks an
+interrupted campaign up from the last completed unit; ``--fresh``
+discards an existing journal first.
 """
 
 from __future__ import annotations
@@ -48,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent characterisation "
                              "cache (benchmarks/.cache)")
+    parser.add_argument("--resume", action="store_true",
+                        help="journal completed units to results/<run>/"
+                             "journal.jsonl and resume an interrupted "
+                             "campaign from the last completed unit")
+    parser.add_argument("--fresh", action="store_true",
+                        help="like --resume, but discard any existing "
+                             "journal for the requested run(s) first")
     return parser
 
 
@@ -125,18 +137,89 @@ def _render_chart(name: str, result) -> Optional[str]:
     return None
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte budget like ``500M``, ``2G``, ``4096``."""
+    text = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            text, factor = text[:-1], mult
+            break
+    return int(float(text) * factor)
+
+
+def _cache_main(argv: List[str]) -> int:
+    """The ``repro cache`` maintenance subcommand."""
+    from .parallel import CharacterizationCache, default_cache_root
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and maintain the persistent "
+                    "characterisation cache.")
+    parser.add_argument("action",
+                        choices=("stats", "verify", "gc", "clear"))
+    parser.add_argument("--max-bytes", type=_parse_size, default=None,
+                        help="gc: evict LRU entries until the cache is "
+                             "at most this big (suffixes K/M/G)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: REPRO_CACHE_DIR "
+                             "or benchmarks/.cache)")
+    args = parser.parse_args(argv)
+    root = args.cache_dir or default_cache_root()
+    cache = CharacterizationCache(root)
+    if args.action == "stats":
+        usage = cache.usage()
+        print(f"cache root        {cache.root}")
+        print(f"entries           {usage['entries']}")
+        print(f"bytes             {usage['bytes']}")
+        print(f"quarantined       {usage['quarantined']}")
+        return 0
+    if args.action == "verify":
+        report = cache.verify_all()
+        print(f"verified {len(report['ok'])} entr"
+              f"{'y' if len(report['ok']) == 1 else 'ies'}, "
+              f"{len(report['corrupt'])} corrupt")
+        for key in report["corrupt"]:
+            print(f"quarantined {key} -> {cache.quarantine_root}")
+        return 1 if report["corrupt"] else 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("cache gc requires --max-bytes", file=sys.stderr)
+            return 2
+        removed = cache.gc(args.max_bytes)
+        usage = cache.usage()
+        print(f"evicted {len(removed)} entr"
+              f"{'y' if len(removed) == 1 else 'ies'}; "
+              f"{usage['entries']} left ({usage['bytes']} bytes)")
+        return 0
+    cache.clear()
+    print(f"cleared {cache.root}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
-    from .parallel import parallel_config
+    from .parallel import discard_journal, parallel_config
+    resume = True if (args.resume or args.fresh) else None
     with parallel_config(
             workers=args.workers,
-            cache_enabled=False if args.no_cache else None):
+            cache_enabled=False if args.no_cache else None,
+            resume=resume):
+        names = (list(EXPERIMENTS) if args.experiment == "all"
+                 else [args.experiment])
+        if args.fresh:
+            for name in names:
+                if name in EXPERIMENTS:
+                    discard_journal(name)
         if args.experiment == "all":
             for name in EXPERIMENTS:
                 print(f"=== {name} ===")

@@ -10,6 +10,7 @@ variable) for the paper's full protocol.
 
 from __future__ import annotations
 
+import dataclasses
 import numbers
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -20,6 +21,7 @@ from ..chip import ChipProfile
 from ..config import ArchConfig, DEFAULT_ARCH, DEFAULT_TECH, TechParams
 from ..floorplan import Floorplan, build_floorplan
 from ..parallel import characterize_batch
+from ..parallel.journal import RunJournal, active_journal
 from ..parallel.runner import CacheArg
 from ..thermal import ThermalNetwork
 
@@ -112,6 +114,34 @@ class ChipFactory:
         """
         self.chips(n_dies)
         return self
+
+
+def campaign_journal(experiment: Optional[str]) -> Optional[RunJournal]:
+    """The checkpoint journal for an experiment's campaign, or None.
+
+    Returns a :class:`~repro.parallel.journal.RunJournal` under
+    ``results/<experiment>/journal.jsonl`` when resume mode is active
+    (CLI ``--resume``/``--fresh`` or ``REPRO_RESUME=1``) *and* the
+    caller passed an experiment tag; otherwise None, in which case
+    the trial runners skip all journaling.
+    """
+    if not experiment:
+        return None
+    return active_journal(experiment)
+
+
+def journal_identity(factory: ChipFactory) -> Dict[str, object]:
+    """Unit-key fields pinning the die population a unit ran on.
+
+    Folded into every journaled unit's content key so a journal can
+    never resurrect results measured on a different tech, arch or die
+    batch.
+    """
+    return {
+        "tech": repr(sorted(dataclasses.asdict(factory.tech).items())),
+        "arch": repr(sorted(dataclasses.asdict(factory.arch).items())),
+        "factory_seed": int(factory.seed),
+    }
 
 
 def _format_cell(v: object) -> str:

@@ -70,5 +70,6 @@ def run(
     results = {}
     for nt in thread_counts:
         results[nt] = run_policy_comparison(
-            factory, policies, evaluate, nt, n_trials, n_dies, seed=seed)
+            factory, policies, evaluate, nt, n_trials, n_dies,
+            seed=seed, experiment="fig7")
     return Fig07Result(results=results)

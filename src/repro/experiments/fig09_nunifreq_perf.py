@@ -116,7 +116,8 @@ def run(
     results = {}
     for nt in thread_counts:
         results[nt] = run_policy_comparison(
-            factory, policies, evaluate, nt, n_trials, n_dies, seed=seed)
+            factory, policies, evaluate, nt, n_trials, n_dies,
+            seed=seed, experiment="fig9")
     return Fig09Result(
         results=results,
         nunifreq_vs_unifreq=nunifreq_vs_unifreq(

@@ -59,5 +59,6 @@ def run(
     results = {}
     for nt in thread_counts:
         results[nt] = run_policy_comparison(
-            factory, policies, evaluate, nt, n_trials, n_dies, seed=seed)
+            factory, policies, evaluate, nt, n_trials, n_dies,
+            seed=seed, experiment="fig10")
     return Fig10Result(results=results)

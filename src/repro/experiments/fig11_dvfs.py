@@ -77,5 +77,6 @@ def run(
     for nt in thread_counts:
         results[nt] = run_pm_comparison(
             factory, env, nt, n_trials, n_dies,
-            algorithms=algorithms, protocol=protocol, seed=seed, **kwargs)
+            algorithms=algorithms, protocol=protocol, seed=seed,
+            experiment="fig11", **kwargs)
     return Fig11Result(results=results, env_name=env.name)

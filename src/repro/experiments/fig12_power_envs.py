@@ -57,5 +57,6 @@ def run(
     for env in environments:
         results[env.name] = run_pm_comparison(
             factory, env, n_threads, n_trials, n_dies,
-            algorithms=algorithms, protocol=protocol, seed=seed, **kwargs)
+            algorithms=algorithms, protocol=protocol, seed=seed,
+            experiment="fig12", **kwargs)
     return Fig12Result(results=results)

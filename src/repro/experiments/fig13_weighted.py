@@ -70,5 +70,6 @@ def run(
     for nt in thread_counts:
         results[nt] = run_pm_comparison(
             factory, env, nt, n_trials, n_dies,
-            algorithms=algorithms, protocol=protocol, seed=seed, **kwargs)
+            algorithms=algorithms, protocol=protocol, seed=seed,
+            experiment="fig13", **kwargs)
     return Fig13Result(results=results, env_name=env.name)

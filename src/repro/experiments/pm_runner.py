@@ -15,6 +15,7 @@ Metrics are normalised per-trial to ``Random+Foxton*`` and averaged.
 
 from __future__ import annotations
 
+import dataclasses as _dataclasses
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -22,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import PowerEnvironment
+from ..parallel.journal import unit_key
 from ..pm import FoxtonStar, LinOpt, LinOptConfig, PowerManager, SAnnManager
 from ..runtime.evaluation import Assignment
 from ..runtime.simulation import (
@@ -30,7 +32,7 @@ from ..runtime.simulation import (
 )
 from ..sched import RandomPolicy, SchedulingPolicy, VarFAppIPC
 from ..workloads import Workload, make_workload
-from .common import ChipFactory
+from .common import ChipFactory, campaign_journal, journal_identity
 
 # Default online-protocol timing (scaled down from the paper's full
 # SESC runs; REPRO_FULL experiments pass longer durations).
@@ -103,12 +105,15 @@ def run_pm_comparison(
     baseline: str = "Random+Foxton*",
     seed: int = 0,
     transition_latency_s: float = TRANSITION_LATENCY_PER_LEVEL_S,
+    experiment: Optional[str] = None,
 ) -> Dict[str, PmAverages]:
     """Compare the power-budget algorithms at one (env, thread count).
 
     ``transition_latency_s`` is the per-level V/f switching cost
     charged by the online protocol (zero disables the accounting, for
-    ablations).
+    ablations). ``experiment`` is the campaign tag (e.g. ``"fig11"``):
+    with resume mode active, completed (trial, algorithm) units
+    checkpoint to the campaign journal and are skipped on rerun.
 
     Returns a mapping algorithm name -> baseline-normalised averages.
     """
@@ -118,14 +123,42 @@ def run_pm_comparison(
         algorithms = standard_algorithms(online=protocol == "online")
     if not any(a.name == baseline for a in algorithms):
         raise ValueError(f"baseline {baseline!r} missing")
-    factory.prefetch(min(n_trials, n_dies))
+    journal = campaign_journal(experiment)
+    keys: Dict[Tuple[int, str], str] = {}
+    if journal is not None:
+        identity = journal_identity(factory)
+        env_fields = repr(sorted(_dataclasses.asdict(env).items()))
+        for trial in range(n_trials):
+            for algo in algorithms:
+                keys[trial, algo.name] = unit_key(
+                    kind="pm", experiment=experiment, env=env_fields,
+                    n_threads=n_threads, trial=trial, algo=algo.name,
+                    seed=seed, die=trial % n_dies, protocol=protocol,
+                    duration_s=duration_s, interval_s=interval_s,
+                    transition_latency_s=transition_latency_s,
+                    **identity)
+    all_journaled = (journal is not None
+                     and all(journal.lookup(k) is not None
+                             for k in keys.values()))
+    if not all_journaled:
+        factory.prefetch(min(n_trials, n_dies))
     sums = {a.name: np.zeros(5) for a in algorithms}
     for trial in range(n_trials):
-        chip = factory.chip(trial % n_dies, n_dies)
-        workload = make_workload(
-            n_threads, np.random.default_rng([seed, trial, 23]))
         metrics: Dict[str, np.ndarray] = {}
-        for algo in algorithms:
+        missing = list(algorithms)
+        if journal is not None:
+            missing = []
+            for algo in algorithms:
+                cached = journal.lookup(keys[trial, algo.name])
+                if cached is not None:
+                    metrics[algo.name] = np.array(cached)
+                else:
+                    missing.append(algo)
+        if missing:
+            chip = factory.chip(trial % n_dies, n_dies)
+            workload = make_workload(
+                n_threads, np.random.default_rng([seed, trial, 23]))
+        for algo in missing:
             # crc32, not hash(): str hashing is randomised per process
             # (PYTHONHASHSEED), which made these trials irreproducible.
             rng = np.random.default_rng(
@@ -157,9 +190,22 @@ def run_pm_comparison(
                     state.weighted_ed2_relative(workload),
                     state.total_power,
                 ])
+            if journal is not None:
+                journal.record(keys[trial, algo.name],
+                               {"experiment": experiment, "trial": trial,
+                                "algorithm": algo.name,
+                                "n_threads": n_threads,
+                                "env": env.name, "protocol": protocol},
+                               [float(v) for v in metrics[algo.name]])
         base = metrics[baseline]
         for name, vals in metrics.items():
             sums[name] += vals / base
+    if journal is not None:
+        # A figure must never be emitted from a partial journal.
+        journal.require_complete(keys.values(), scope=experiment or "")
+        journal.mark_complete(
+            f"pm:{experiment}:env{env.name}:nt{n_threads}"
+            f":trials{n_trials}:seed{seed}:{protocol}", len(keys))
     out = {}
     for name, total in sums.items():
         mean = total / n_trials

@@ -5,6 +5,12 @@ die of the batch (trials rotate through the dies); every policy sees
 the identical (die, workload, rng) triple so differences are purely
 algorithmic. Results are normalised to the Random baseline per trial
 and then averaged, matching the paper's protocol (Section 6.4).
+
+When a campaign journal is active (``--resume`` / ``REPRO_RESUME=1``
+and an ``experiment`` tag), every completed (trial, policy) unit's
+raw metrics are checkpointed to ``results/<experiment>/journal.jsonl``
+and consulted on the next run, so an interrupted campaign resumes
+from the last completed unit with bitwise-identical tables.
 """
 
 from __future__ import annotations
@@ -15,10 +21,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel.journal import unit_key
 from ..runtime.evaluation import SystemState
 from ..sched import SchedulingPolicy
 from ..workloads import Workload, make_workload
-from .common import ChipFactory
+from .common import ChipFactory, campaign_journal, journal_identity
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,7 @@ def run_policy_comparison(
     n_dies: int,
     baseline: str = "Random",
     seed: int = 0,
+    experiment: Optional[str] = None,
 ) -> Dict[str, PolicyAverages]:
     """Compare policies at one thread count.
 
@@ -57,6 +65,9 @@ def run_policy_comparison(
         n_dies: Dies the trials rotate through.
         baseline: Policy the metrics are normalised against.
         seed: Base seed for workloads and policy randomness.
+        experiment: Campaign tag (e.g. ``"fig7"``). With resume mode
+            active, completed (trial, policy) units checkpoint to the
+            campaign journal and are skipped on the next run.
 
     Returns:
         Mapping policy name -> :class:`PolicyAverages` (baseline-
@@ -64,28 +75,68 @@ def run_policy_comparison(
     """
     if not any(p.name == baseline for p in policies):
         raise ValueError(f"baseline {baseline!r} not among the policies")
-    factory.prefetch(min(n_trials, n_dies))
+    journal = campaign_journal(experiment)
+    keys: Dict[Tuple[int, str], str] = {}
+    if journal is not None:
+        identity = journal_identity(factory)
+        for trial in range(n_trials):
+            for policy in policies:
+                keys[trial, policy.name] = unit_key(
+                    kind="sched", experiment=experiment,
+                    n_threads=n_threads, trial=trial,
+                    policy=policy.name, seed=seed,
+                    die=trial % n_dies, **identity)
+    all_journaled = (journal is not None
+                     and all(journal.lookup(k) is not None
+                             for k in keys.values()))
+    if not all_journaled:
+        factory.prefetch(min(n_trials, n_dies))
     sums = {p.name: {"power": 0.0, "ed2": 0.0, "mips": 0.0, "freq": 0.0}
             for p in policies}
     for trial in range(n_trials):
-        chip = factory.chip(trial % n_dies, n_dies)
-        workload = make_workload(
-            n_threads, np.random.default_rng([seed, trial, 11]))
-        per_policy: Dict[str, SystemState] = {}
-        for policy in policies:
+        raw: Dict[str, List[float]] = {}
+        missing = list(policies)
+        if journal is not None:
+            missing = []
+            for policy in policies:
+                cached = journal.lookup(keys[trial, policy.name])
+                if cached is not None:
+                    raw[policy.name] = cached
+                else:
+                    missing.append(policy)
+        if missing:
+            chip = factory.chip(trial % n_dies, n_dies)
+            workload = make_workload(
+                n_threads, np.random.default_rng([seed, trial, 11]))
+        for policy in missing:
             # crc32, not hash(): str hashing is randomised per process
             # (PYTHONHASHSEED), which made these trials irreproducible.
             rng = np.random.default_rng(
                 [seed, trial, zlib.crc32(policy.name.encode())])
             assignment = policy.assign_with_profiling(chip, workload, rng)
-            per_policy[policy.name] = evaluate(chip, workload, assignment)
-        base = per_policy[baseline]
-        for name, state in per_policy.items():
-            sums[name]["power"] += state.total_power / base.total_power
-            sums[name]["ed2"] += state.ed2_relative / base.ed2_relative
-            sums[name]["mips"] += (state.throughput_mips
-                                   / base.throughput_mips)
-            sums[name]["freq"] += state.mean_frequency / base.mean_frequency
+            state = evaluate(chip, workload, assignment)
+            raw[policy.name] = [float(state.total_power),
+                                float(state.ed2_relative),
+                                float(state.throughput_mips),
+                                float(state.mean_frequency)]
+            if journal is not None:
+                journal.record(keys[trial, policy.name],
+                               {"experiment": experiment, "trial": trial,
+                                "policy": policy.name,
+                                "n_threads": n_threads},
+                               raw[policy.name])
+        base = raw[baseline]
+        for name, vals in raw.items():
+            sums[name]["power"] += vals[0] / base[0]
+            sums[name]["ed2"] += vals[1] / base[1]
+            sums[name]["mips"] += vals[2] / base[2]
+            sums[name]["freq"] += vals[3] / base[3]
+    if journal is not None:
+        # A figure must never be emitted from a partial journal.
+        journal.require_complete(keys.values(), scope=experiment or "")
+        journal.mark_complete(
+            f"sched:{experiment}:nt{n_threads}:trials{n_trials}"
+            f":seed{seed}", len(keys))
     return {
         name: PolicyAverages(
             policy=name,

@@ -1,14 +1,18 @@
-"""Sharded execution and persistent characterisation caching.
+"""Sharded execution, characterisation caching, and crash safety.
 
 The experiment layer's scaling substrate (ROADMAP: "sharding,
-batching, caching"): deterministic batch sharding over a process pool
-plus an on-disk, content-addressed characterisation cache, composed by
-:func:`characterize_batch`. See DESIGN.md §12.
+batching, caching"): deterministic batch sharding over a fault-
+tolerant process pool, an on-disk content-addressed characterisation
+cache with integrity verification and quarantine, and a journaled
+checkpoint/resume layer for long campaigns, composed by
+:func:`characterize_batch`. See DESIGN.md §12 and §14.
 """
 
 from .cache import (
+    CACHE_FORMAT_VERSION,
     CACHE_SCHEMA_VERSION,
     CHARACTERIZATION_TAG,
+    CacheIntegrityError,
     CharacterizationCache,
     cache_enabled,
     cache_key,
@@ -19,6 +23,18 @@ from .cache import (
     set_cache_enabled,
     set_cache_root,
 )
+from .health import RunHealth, get_run_health, reset_run_health
+from .journal import (
+    IncompleteJournalError,
+    RunJournal,
+    active_journal,
+    default_journal_root,
+    discard_journal,
+    resume_enabled,
+    set_journal_root,
+    set_resume,
+    unit_key,
+)
 from .runner import (
     characterize_batch,
     parallel_config,
@@ -27,29 +43,45 @@ from .runner import (
 )
 from .sharding import (
     available_workers,
+    resolve_shard_timeout,
     run_sharded,
     shard_indices,
     spawn_seeds,
 )
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "CACHE_SCHEMA_VERSION",
     "CHARACTERIZATION_TAG",
+    "CacheIntegrityError",
     "CharacterizationCache",
+    "IncompleteJournalError",
+    "RunHealth",
+    "RunJournal",
+    "active_journal",
     "available_workers",
     "cache_enabled",
     "cache_key",
     "characterize_batch",
     "default_cache_root",
+    "default_journal_root",
+    "discard_journal",
     "get_default_cache",
+    "get_run_health",
     "parallel_config",
     "profile_from_payload",
     "profile_payload",
+    "reset_run_health",
+    "resolve_shard_timeout",
     "resolve_workers",
+    "resume_enabled",
     "run_sharded",
     "set_cache_enabled",
     "set_cache_root",
     "set_default_workers",
+    "set_journal_root",
+    "set_resume",
     "shard_indices",
     "spawn_seeds",
+    "unit_key",
 ]

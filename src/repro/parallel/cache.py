@@ -19,6 +19,14 @@ The payload is the flattened state of a :class:`~repro.chip.ChipProfile`
 flat arrays with offset vectors so a warm load touches few npz members.
 Round-tripping is bitwise-exact: a cache hit reconstructs arrays equal
 to a cold characterisation.
+
+Integrity (DESIGN.md §14): stored entries carry a SHA-256 digest over
+their data members (container format v2; v1 entries without a digest
+read transparently). Loads verify the digest; any entry that is
+unreadable or fails verification is *quarantined* — moved to
+``<root>/quarantine/`` next to a structured ``*.reason.json`` — and
+counted in a dedicated ``corrupt`` stat (distinct from ``misses``),
+so silent re-characterisation never hides corruption.
 """
 
 from __future__ import annotations
@@ -30,8 +38,9 @@ import os
 import pathlib
 import shutil
 import tempfile
+import time
 import zipfile
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -44,8 +53,14 @@ from ..power import CoreLeakageModel, L2LeakageModel
 from ..power import scaling
 from ..thermal import ThermalNetwork
 
-# Payload layout version: bump when the npz schema changes.
+# Payload layout version: bump when the npz schema changes. Part of
+# the content key, so bumping it invalidates every existing entry.
 CACHE_SCHEMA_VERSION = 1
+
+# npz *container* format version. v2 added the integrity digest. Not
+# part of the content key: the loader reads v1 entries (no digest)
+# transparently, so bumping this never invalidates the cache.
+CACHE_FORMAT_VERSION = 2
 
 # Code-version tag: bump whenever the characterisation pipeline
 # (variation sampling, path extraction, binning, leakage calibration)
@@ -53,6 +68,10 @@ CACHE_SCHEMA_VERSION = 1
 CHARACTERIZATION_TAG = "characterize-v1"
 
 Payload = Dict[str, np.ndarray]
+
+
+class CacheIntegrityError(ValueError):
+    """A cache entry exists but fails verification (digest/format)."""
 
 
 # ---------------------------------------------------------------------------
@@ -194,9 +213,20 @@ def profile_from_payload(
 #
 # An npz member costs a zip-entry open plus a header parse on every
 # load; a payload has ~18 members, which dominates warm-read latency.
-# Entries are therefore stored as exactly three members — a JSON
+# Entries are therefore stored as exactly three data members — a JSON
 # layout header plus one float64 and one int64 blob — and sliced back
-# into the payload dict on load.
+# into the payload dict on load. Format v2 adds two tiny metadata
+# members: the container format version and a SHA-256 digest over the
+# data members, verified on every load.
+
+
+def _payload_digest(packed: Dict[str, np.ndarray]) -> bytes:
+    """SHA-256 over an entry's data members (layout + both blobs)."""
+    digest = hashlib.sha256()
+    for name in ("layout", "f64", "i64"):
+        arr = np.ascontiguousarray(packed[name])
+        digest.update(arr.tobytes())
+    return digest.digest()
 
 
 def _pack_payload(payload: Payload) -> Dict[str, np.ndarray]:
@@ -217,9 +247,35 @@ def _pack_payload(payload: Payload) -> Dict[str, np.ndarray]:
                            dtype=np.uint8)
     cat = (lambda parts, dtype:
            np.concatenate(parts) if parts else np.empty(0, dtype=dtype))
-    return {"layout": header,
-            "f64": cat(f64_parts, np.float64),
-            "i64": cat(i64_parts, np.int64)}
+    packed = {"layout": header,
+              "f64": cat(f64_parts, np.float64),
+              "i64": cat(i64_parts, np.int64)}
+    packed["format"] = np.int64(CACHE_FORMAT_VERSION)
+    packed["digest"] = np.frombuffer(_payload_digest(packed),
+                                     dtype=np.uint8)
+    return packed
+
+
+def _verify_packed(packed: Dict[str, np.ndarray]) -> None:
+    """Raise :class:`CacheIntegrityError` unless the entry checks out.
+
+    v1 entries (no ``format``/``digest`` members) pass transparently —
+    they predate the digest; their zip CRCs still guard the bits.
+    """
+    for name in ("layout", "f64", "i64"):
+        if name not in packed:
+            raise CacheIntegrityError(f"missing member {name!r}")
+    fmt = int(packed["format"]) if "format" in packed else 1
+    if fmt > CACHE_FORMAT_VERSION:
+        raise CacheIntegrityError(
+            f"container format {fmt} is newer than supported "
+            f"{CACHE_FORMAT_VERSION}")
+    if fmt >= 2:
+        if "digest" not in packed:
+            raise CacheIntegrityError("format>=2 entry lacks a digest")
+        stored = bytes(np.asarray(packed["digest"], dtype=np.uint8))
+        if stored != _payload_digest(packed):
+            raise CacheIntegrityError("payload digest mismatch")
 
 
 def _unpack_payload(packed: Dict[str, np.ndarray]) -> Payload:
@@ -242,33 +298,87 @@ def _unpack_payload(packed: Dict[str, np.ndarray]) -> Payload:
 
 
 class CharacterizationCache:
-    """Content-addressed npz store with hit/miss accounting.
+    """Content-addressed npz store with integrity verification.
 
     Writes are atomic (temp file + ``os.replace``), so concurrent
     workers — process-pool shards or parallel pytest/CI jobs — can
-    share one cache directory without corrupting entries.
+    share one cache directory without corrupting entries. Loads verify
+    the format-v2 SHA-256 digest; an entry that exists but cannot be
+    read back bitwise is quarantined (not silently re-characterised):
+    the file moves to ``<root>/quarantine/`` with a ``*.reason.json``
+    describing why, and the ``corrupt`` counter — distinct from
+    ``misses``, which counts genuinely absent entries — increments.
     """
+
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Union[str, pathlib.Path]) -> None:
         self.root = pathlib.Path(root)
-        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "stores": 0}
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0,
+                                      "corrupt": 0, "stores": 0}
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.npz"
 
+    @property
+    def quarantine_root(self) -> pathlib.Path:
+        return self.root / self.QUARANTINE_DIR
+
     def load(self, key: str) -> Optional[Payload]:
-        """The payload stored under ``key``, or None (counted a miss)."""
+        """The payload stored under ``key``, or None.
+
+        An absent entry counts a miss; an entry that exists but fails
+        to read or verify is quarantined, counts ``corrupt``, and also
+        returns None (the caller re-characterises either way).
+        """
         path = self.path_for(key)
         try:
             with np.load(path) as npz:
-                payload = _unpack_payload(
-                    {name: npz[name] for name in npz.files})
-        except (FileNotFoundError, OSError, ValueError, KeyError,
-                json.JSONDecodeError, zipfile.BadZipFile):
+                packed = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
             self.stats["misses"] += 1
+            return None
+        except (OSError, ValueError, KeyError,
+                json.JSONDecodeError, zipfile.BadZipFile) as exc:
+            self._quarantine(key, path, f"unreadable npz: {exc!r}")
+            return None
+        try:
+            _verify_packed(packed)
+            payload = _unpack_payload(packed)
+        except (CacheIntegrityError, ValueError, KeyError, IndexError,
+                json.JSONDecodeError) as exc:
+            self._quarantine(key, path, f"verification failed: {exc!r}")
             return None
         self.stats["hits"] += 1
         return payload
+
+    def _quarantine(self, key: str, path: pathlib.Path,
+                    reason: str) -> None:
+        """Move a corrupt entry aside and record why, atomically."""
+        self.stats["corrupt"] += 1
+        qdir = self.quarantine_root
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Another process may have quarantined it first; make sure
+            # the poisoned entry is at least out of the lookup path.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        record = {
+            "key": key,
+            "entry": path.name,
+            "reason": reason,
+            "quarantined_at_unix_s": time.time(),
+            "numpy": np.__version__,
+        }
+        try:
+            (qdir / f"{path.stem}.reason.json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            pass
 
     def store(self, key: str, payload: Payload) -> None:
         """Atomically persist a payload under ``key``."""
@@ -292,8 +402,81 @@ class CharacterizationCache:
         shutil.rmtree(self.root, ignore_errors=True)
 
     def snapshot(self) -> Dict[str, int]:
-        """A copy of the hit/miss/store counters."""
+        """A copy of the hit/miss/corrupt/store counters."""
         return dict(self.stats)
+
+    # -- maintenance (the ``repro cache`` CLI subcommand) ------------
+
+    def entries(self) -> Iterator[pathlib.Path]:
+        """Entry files currently in the store (quarantine excluded)."""
+        if not self.root.is_dir():
+            return
+        for bucket in sorted(p for p in self.root.iterdir()
+                             if p.is_dir() and p.name != self.QUARANTINE_DIR):
+            yield from sorted(bucket.glob("*.npz"))
+
+    def usage(self) -> Dict[str, int]:
+        """Entry/byte counts for ``repro cache stats``."""
+        n_entries = total = 0
+        for path in self.entries():
+            n_entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        quarantined = (len(list(self.quarantine_root.glob("*.npz")))
+                       if self.quarantine_root.is_dir() else 0)
+        return {"entries": n_entries, "bytes": total,
+                "quarantined": quarantined}
+
+    def verify_all(self) -> Dict[str, List[str]]:
+        """Verify every entry; corrupt ones are quarantined.
+
+        Returns the keys that verified (``ok``) and the keys that were
+        quarantined by this pass (``corrupt``).
+        """
+        ok: List[str] = []
+        corrupt: List[str] = []
+        for path in list(self.entries()):
+            key = path.stem
+            before = self.stats["corrupt"]
+            payload = self.load(key)
+            if payload is not None:
+                ok.append(key)
+            elif self.stats["corrupt"] > before:
+                corrupt.append(key)
+        return {"ok": ok, "corrupt": corrupt}
+
+    def gc(self, max_bytes: int) -> List[pathlib.Path]:
+        """Evict least-recently-used entries until ``<= max_bytes``.
+
+        LRU is approximated by file mtime (atomic stores refresh it;
+        loads do not touch it, so this is closer to least-recently-
+        *stored* — good enough for a content-addressed cache whose
+        entries are all equally re-creatable). Returns removed paths.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        stamped = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        removed: List[pathlib.Path] = []
+        for mtime, path, size in sorted(stamped):
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed.append(path)
+        return removed
 
 
 # ---------------------------------------------------------------------------

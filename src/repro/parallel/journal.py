@@ -1,0 +1,261 @@
+"""Journaled checkpoint/resume for experiment campaigns.
+
+A paper campaign (``repro all``, or one full-scale figure) is a long
+sequence of independent *units* — one (experiment, trial/die, policy)
+measurement each. A crash mid-campaign used to throw all completed
+units away. This module gives every campaign an append-only JSONL
+*run journal* (``results/<run>/journal.jsonl``) recording each
+completed unit under a content key, so an interrupted run resumes
+from the last completed unit instead of starting over.
+
+Crash-safety model:
+
+* appends are a single ``write`` of one ``\\n``-terminated line to an
+  ``O_APPEND`` handle, flushed and fsynced before ``record`` returns —
+  a unit is either fully journaled or not journaled at all;
+* replay tolerates exactly one torn tail line (a crash mid-append):
+  parsing stops at the first malformed line, which is overwritten by
+  the next append via truncation to the last good byte;
+* unit keys are content hashes over everything that determines the
+  unit's result (experiment, trial, policy, seeds, tech/arch, the
+  protocol parameters), so a journal can never resurrect a stale
+  result after a parameter change — the key simply won't match;
+* results are stored as JSON floats (``repr`` round-trips IEEE-754
+  doubles exactly), so a resumed figure is bitwise-identical to an
+  uninterrupted one;
+* a figure is only emitted from a journal that passes
+  :meth:`RunJournal.require_complete` — a partial journal raises
+  :class:`IncompleteJournalError` instead of producing partial tables.
+
+Resume is opt-in: the CLI's ``--resume``/``--fresh`` flags or
+``REPRO_RESUME=1`` (see :func:`resume_enabled`). Without it the
+runners never touch the journal and behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import time
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: Bump whenever the journal line format or unit-key recipe changes;
+#: part of every unit key, so old journals simply stop matching.
+JOURNAL_TAG = "journal-v1"
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+class IncompleteJournalError(RuntimeError):
+    """A figure was about to be emitted from a partial journal."""
+
+
+def unit_key(**fields: Any) -> str:
+    """Content hash identifying one campaign unit's result.
+
+    Callers pass everything the unit's result depends on (experiment
+    tag, trial index, policy/algorithm name, seeds, ``repr`` of tech
+    and arch, protocol parameters). The journal tag is mixed in so a
+    format change invalidates every old key at once.
+    """
+    parts = [f"tag={JOURNAL_TAG}"]
+    parts += [f"{name}={fields[name]!r}" for name in sorted(fields)]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL record of completed campaign units.
+
+    One journal per campaign run, at ``<root>/<run>/journal.jsonl``.
+    Open it with :meth:`open` (replays existing entries), look up
+    units with :meth:`lookup`, and append completed units with
+    :meth:`record`. Safe against crashes between (but not during)
+    appends; a torn final line is ignored on replay and truncated
+    away before the next append.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._entries: Dict[str, Any] = {}
+        self._complete_marks: Dict[str, int] = {}
+        self._good_bytes = 0
+        self._replay()
+
+    @classmethod
+    def open(cls, root: Union[str, pathlib.Path],
+             run_name: str) -> "RunJournal":
+        """The journal for campaign ``run_name`` under ``root``."""
+        if not run_name or "/" in run_name or run_name in (".", ".."):
+            raise ValueError(f"bad run name {run_name!r}")
+        return cls(pathlib.Path(root) / run_name / JOURNAL_FILENAME)
+
+    # -- replay ------------------------------------------------------
+
+    def _replay(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return
+        good = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn tail: a crash mid-append; ignore it
+            try:
+                entry = json.loads(line.decode("utf-8"))
+                kind = entry.get("kind", "unit")
+                if kind == "unit":
+                    self._entries[entry["key"]] = entry["result"]
+                elif kind == "complete":
+                    self._complete_marks[entry["scope"]] = \
+                        int(entry["n_units"])
+            except (ValueError, KeyError, UnicodeDecodeError):
+                break  # malformed: stop trusting anything after it
+            good += len(line)
+        self._good_bytes = good
+
+    # -- queries -----------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[Any]:
+        """The journaled result for ``key``, or None."""
+        return self._entries.get(key)
+
+    def completed(self) -> List[str]:
+        """Keys of every journaled unit (replay + this process)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def require_complete(self, keys: Iterable[str],
+                         scope: str = "") -> None:
+        """Refuse to emit a figure unless every unit is journaled."""
+        missing = [k for k in keys if k not in self._entries]
+        if missing:
+            raise IncompleteJournalError(
+                f"journal {self.path} is missing {len(missing)} of the "
+                f"units required"
+                + (f" by {scope!r}" if scope else "")
+                + " — refusing to emit a figure from a partial journal")
+
+    def is_scope_complete(self, scope: str) -> bool:
+        """Whether a ``complete`` marker was journaled for ``scope``."""
+        return scope in self._complete_marks
+
+    # -- appends -----------------------------------------------------
+
+    def _append_line(self, obj: Dict[str, Any]) -> None:
+        line = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            # Drop a torn tail left by a previous crash before the
+            # first new append (never shrinks past replayed entries).
+            if os.fstat(fd).st_size > self._good_bytes:
+                os.ftruncate(fd, self._good_bytes)
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._good_bytes += len(line)
+
+    def record(self, key: str, unit: Dict[str, Any],
+               result: Any) -> None:
+        """Journal one completed unit (atomic, durable, idempotent).
+
+        ``result`` must be JSON-representable; floats round-trip
+        bitwise. Re-recording an already-journaled key is a no-op.
+        """
+        if key in self._entries:
+            return
+        self._append_line({
+            "kind": "unit",
+            "key": key,
+            "unit": unit,
+            "result": result,
+            "t_unix_s": time.time(),
+        })
+        self._entries[key] = result
+
+    def mark_complete(self, scope: str, n_units: int) -> None:
+        """Journal that a scope (one figure/table pass) finished."""
+        if self._complete_marks.get(scope) == int(n_units):
+            return
+        self._append_line({
+            "kind": "complete",
+            "scope": scope,
+            "n_units": int(n_units),
+            "t_unix_s": time.time(),
+        })
+        self._complete_marks[scope] = int(n_units)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide resume configuration (mirrors the cache-root pattern)
+
+_resume_override: Optional[bool] = None
+_journal_root_override: Optional[pathlib.Path] = None
+
+
+def resume_enabled() -> bool:
+    """Whether campaign journaling/resume is active.
+
+    Priority: :func:`set_resume` override (the CLI's ``--resume`` /
+    ``--fresh``), then the ``REPRO_RESUME`` environment variable,
+    then off.
+    """
+    if _resume_override is not None:
+        return _resume_override
+    return os.environ.get("REPRO_RESUME", "") not in ("", "0")
+
+
+def set_resume(enabled: Optional[bool]) -> None:
+    """Force resume on/off; ``None`` restores env control."""
+    global _resume_override
+    _resume_override = enabled
+
+
+def set_journal_root(root: Optional[Union[str, pathlib.Path]]) -> None:
+    """Override the campaign results root (``None`` restores it)."""
+    global _journal_root_override
+    _journal_root_override = (pathlib.Path(root) if root is not None
+                              else None)
+
+
+def default_journal_root() -> pathlib.Path:
+    """Campaign results root holding ``<run>/journal.jsonl`` dirs.
+
+    Priority: explicit :func:`set_journal_root` override, the
+    ``REPRO_JOURNAL_DIR`` environment variable, then ``results/`` of
+    the enclosing checkout (found by walking up from the CWD), then a
+    per-user fallback.
+    """
+    if _journal_root_override is not None:
+        return _journal_root_override
+    env = os.environ.get("REPRO_JOURNAL_DIR")
+    if env:
+        return pathlib.Path(env)
+    cwd = pathlib.Path.cwd()
+    for base in (cwd, *cwd.parents):
+        if ((base / "pyproject.toml").exists()
+                and (base / "benchmarks").is_dir()):
+            return base / "results"
+    return pathlib.Path.home() / ".cache" / "repro-results"
+
+
+def active_journal(run_name: str) -> Optional[RunJournal]:
+    """The campaign journal for ``run_name``, or None when resume is
+    off — callers skip all journaling in that case."""
+    if not resume_enabled():
+        return None
+    return RunJournal.open(default_journal_root(), run_name)
+
+
+def discard_journal(run_name: str) -> None:
+    """Delete a campaign's journal directory (the ``--fresh`` flag)."""
+    if not run_name or "/" in run_name or run_name in (".", ".."):
+        raise ValueError(f"bad run name {run_name!r}")
+    shutil.rmtree(default_journal_root() / run_name, ignore_errors=True)

@@ -31,6 +31,7 @@ from ..floorplan import Floorplan, build_floorplan
 from ..thermal import ThermalNetwork
 from ..variation import DieBatch
 from . import cache as _cache_mod
+from . import journal as _journal_mod
 from .cache import (
     CharacterizationCache,
     Payload,
@@ -39,6 +40,7 @@ from .cache import (
     profile_from_payload,
     profile_payload,
 )
+from .health import RunHealth, get_run_health
 from .sharding import run_sharded
 
 CacheArg = Union[None, str, CharacterizationCache]
@@ -75,15 +77,25 @@ def set_default_workers(workers: Optional[int]) -> None:
 @contextmanager
 def parallel_config(workers: Optional[int] = None,
                     cache_enabled: Optional[bool] = None,
-                    cache_root=None):
+                    cache_root=None,
+                    resume: Optional[bool] = None,
+                    journal_root=None):
     """Temporarily override the process-wide parallel/cache defaults.
 
     Used by the CLI (for the lifetime of a run) and by benchmarks and
     tests that compare serial, sharded, cold and warm configurations.
+    ``resume``/``journal_root`` control campaign journaling (the CLI's
+    ``--resume``/``--fresh`` flags; see :mod:`repro.parallel.journal`).
+
+    Every override is restored through its setter — never by poking
+    the module globals — so any invariant a setter maintains (now or
+    later) holds on both entry and exit.
     """
     prev_workers = _default_workers
     prev_enabled = _cache_mod._cache_enabled_override
     prev_root = _cache_mod._cache_root_override
+    prev_resume = _journal_mod._resume_override
+    prev_journal_root = _journal_mod._journal_root_override
     try:
         if workers is not None:
             set_default_workers(workers)
@@ -91,11 +103,17 @@ def parallel_config(workers: Optional[int] = None,
             _cache_mod.set_cache_enabled(cache_enabled)
         if cache_root is not None:
             _cache_mod.set_cache_root(cache_root)
+        if resume is not None:
+            _journal_mod.set_resume(resume)
+        if journal_root is not None:
+            _journal_mod.set_journal_root(journal_root)
         yield
     finally:
         set_default_workers(prev_workers)
         _cache_mod.set_cache_enabled(prev_enabled)
-        _cache_mod._cache_root_override = prev_root
+        _cache_mod.set_cache_root(prev_root)
+        _journal_mod.set_resume(prev_resume)
+        _journal_mod.set_journal_root(prev_journal_root)
 
 
 def _resolve_cache(cache: CacheArg) -> Optional[CharacterizationCache]:
@@ -142,6 +160,8 @@ def characterize_batch(
     cache: CacheArg = "auto",
     floorplan: Optional[Floorplan] = None,
     thermal: Optional[ThermalNetwork] = None,
+    shard_timeout_s: Optional[float] = None,
+    health: Optional[RunHealth] = None,
 ) -> List[ChipProfile]:
     """Characterise the requested dies of a seeded batch.
 
@@ -156,6 +176,13 @@ def characterize_batch(
             (disabled), or an explicit :class:`CharacterizationCache`.
         floorplan, thermal: Shared structures to attach to the
             profiles (built from ``arch`` when omitted).
+        shard_timeout_s: Per-shard wall-time limit for the pool run
+            (``None`` defers to ``REPRO_SHARD_TIMEOUT_S``; see
+            :func:`~repro.parallel.sharding.resolve_shard_timeout`).
+        health: :class:`RunHealth` recording recovery actions; by
+            default the process-wide collector from
+            :func:`~repro.parallel.health.get_run_health`, which
+            benchmarks snapshot into ``BENCH_*.json``.
 
     Returns:
         One :class:`ChipProfile` per entry of ``die_indices``.
@@ -184,11 +211,14 @@ def characterize_batch(
         else:
             missing.append(index)
 
+    if health is None:
+        health = get_run_health()
     if missing and workers > 1 and len(missing) > 1:
         fn = functools.partial(
             _characterize_shard, tech, arch, seed,
             str(store.root) if store is not None else None)
-        payloads = run_sharded(fn, missing, workers=workers)
+        payloads = run_sharded(fn, missing, workers=workers,
+                               timeout_s=shard_timeout_s, health=health)
         if store is not None:
             store.stats["stores"] += len(missing)
         for index, payload in zip(missing, payloads):

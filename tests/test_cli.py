@@ -60,6 +60,55 @@ class TestCliParallelFlags:
         assert not cache_dir.exists()
 
 
+class TestCliCache:
+    @pytest.fixture(autouse=True)
+    def _cache_env(self, tmp_path, monkeypatch):
+        self.cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(self.cache_dir))
+
+    def _populate(self):
+        assert main(["fig4", "--dies", "2", "--workers", "1"]) == 0
+        return list(self.cache_dir.rglob("*.npz"))
+
+    def test_stats(self, capsys):
+        entries = self._populate()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(self.cache_dir) in out
+        assert f"entries           {len(entries)}" in out
+
+    def test_verify_clean_and_corrupt(self, capsys):
+        entries = self._populate()
+        assert main(["cache", "verify"]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        entries[0].write_bytes(b"garbage")
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "quarantined" in out
+
+    def test_gc_requires_budget(self, capsys):
+        assert main(["cache", "gc"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_evicts_to_budget(self, capsys):
+        self._populate()
+        assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+        assert "0 left" in capsys.readouterr().out
+        assert not list(self.cache_dir.rglob("*.npz"))
+
+    def test_clear(self, capsys):
+        self._populate()
+        assert main(["cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not list(self.cache_dir.rglob("*.npz"))
+
+    def test_cache_dir_flag_overrides_env(self, tmp_path, capsys):
+        other = tmp_path / "elsewhere"
+        assert main(["cache", "stats", "--cache-dir", str(other)]) == 0
+        assert str(other) in capsys.readouterr().out
+
+
 class TestCliCharts:
     def test_fig4_chart(self, capsys):
         assert main(["fig4", "--dies", "2", "--chart"]) == 0

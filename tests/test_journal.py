@@ -1,0 +1,288 @@
+"""Tests for the journaled checkpoint/resume layer (DESIGN.md §14).
+
+Covers the :class:`~repro.parallel.RunJournal` crash-safety
+mechanics (atomic appends, torn-tail replay, completeness checks),
+the trial-runner integration (an interrupted campaign resumed via the
+journal reproduces the uninterrupted tables bitwise, recomputing only
+the missing units), and the CLI ``--resume``/``--fresh`` plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import ChipFactory
+from repro.experiments.sched_runner import run_policy_comparison
+from repro.experiments.pm_runner import (
+    AlgorithmSpec,
+    run_pm_comparison,
+)
+from repro.parallel import (
+    IncompleteJournalError,
+    RunJournal,
+    parallel_config,
+    unit_key,
+)
+from repro.parallel.journal import JOURNAL_FILENAME
+from repro.pm import FoxtonStar
+from repro.sched import RandomPolicy, VarP
+
+
+class TestRunJournal:
+    def test_record_and_replay(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k1", {"trial": 0}, [1.5, 2.5])
+        journal.record("k2", {"trial": 1}, [3.5])
+        reopened = RunJournal.open(tmp_path, "figx")
+        assert len(reopened) == 2
+        assert reopened.lookup("k1") == [1.5, 2.5]
+        assert reopened.lookup("k2") == [3.5]
+        assert reopened.lookup("absent") is None
+
+    def test_floats_round_trip_bitwise(self, tmp_path):
+        values = [0.1 + 0.2, 1e-308, 1.7976931348623157e308,
+                  -0.3333333333333333]
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k", {}, values)
+        replayed = RunJournal.open(tmp_path, "figx").lookup("k")
+        assert all(a == b and str(a) == str(b)
+                   for a, b in zip(replayed, values))
+
+    def test_record_is_idempotent(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k", {}, [1.0])
+        size = journal.path.stat().st_size
+        journal.record("k", {}, [999.0])  # no-op: already journaled
+        assert journal.path.stat().st_size == size
+        assert journal.lookup("k") == [1.0]
+
+    def test_torn_tail_is_ignored_and_truncated(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k1", {}, [1.0])
+        # Simulate a crash mid-append: a partial, unterminated line.
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"kind": "unit", "key": "torn", "resu')
+        reopened = RunJournal.open(tmp_path, "figx")
+        assert len(reopened) == 1
+        assert reopened.lookup("torn") is None
+        # The next append truncates the torn bytes away.
+        reopened.record("k2", {}, [2.0])
+        lines = journal.path.read_bytes().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_malformed_middle_line_stops_replay(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k1", {}, [1.0])
+        with open(journal.path, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(json.dumps({"kind": "unit", "key": "k2",
+                                     "unit": {}, "result": [2.0]})
+                         .encode() + b"\n")
+        # Nothing after the corruption point is trusted on replay…
+        reopened = RunJournal.open(tmp_path, "figx")
+        assert reopened.lookup("k1") == [1.0]
+        assert reopened.lookup("k2") is None
+        # …and the next append through the journal truncates it away.
+        reopened.record("k3", {}, [3.0])
+        assert [json.loads(line)["key"] for line
+                in journal.path.read_bytes().splitlines()] == ["k1", "k3"]
+
+    def test_require_complete(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k1", {}, [1.0])
+        journal.require_complete(["k1"])
+        with pytest.raises(IncompleteJournalError, match="partial"):
+            journal.require_complete(["k1", "k2"], scope="figx")
+
+    def test_complete_marker_round_trips(self, tmp_path):
+        journal = RunJournal.open(tmp_path, "figx")
+        journal.record("k1", {}, [1.0])
+        journal.mark_complete("figx:nt4", 1)
+        reopened = RunJournal.open(tmp_path, "figx")
+        assert reopened.is_scope_complete("figx:nt4")
+        assert not reopened.is_scope_complete("figx:nt8")
+
+    def test_bad_run_names_rejected(self, tmp_path):
+        for bad in ("", ".", "..", "a/b"):
+            with pytest.raises(ValueError):
+                RunJournal.open(tmp_path, bad)
+
+
+class TestUnitKey:
+    def test_key_sensitivity(self):
+        base = unit_key(experiment="fig7", trial=0, policy="Random")
+        assert unit_key(experiment="fig7", trial=0,
+                        policy="Random") == base
+        assert unit_key(experiment="fig8", trial=0,
+                        policy="Random") != base
+        assert unit_key(experiment="fig7", trial=1,
+                        policy="Random") != base
+        assert unit_key(experiment="fig7", trial=0, policy="VarP") != base
+
+
+class _CountingEvaluate:
+    """Wraps an evaluate fn; optionally raises after ``crash_after``."""
+
+    def __init__(self, inner, crash_after=None):
+        self.inner = inner
+        self.calls = 0
+        self.crash_after = crash_after
+
+    def __call__(self, chip, workload, assignment):
+        if (self.crash_after is not None
+                and self.calls >= self.crash_after):
+            raise RuntimeError("injected campaign crash")
+        self.calls += 1
+        return self.inner(chip, workload, assignment)
+
+
+class TestSchedRunnerResume:
+    N_TRIALS = 3
+    POLICIES = (RandomPolicy, VarP)
+
+    def _run(self, tech, small_arch, root, evaluate,
+             experiment="figtest"):
+        from repro.runtime.evaluation import evaluate_uniform_frequency
+        with parallel_config(resume=True, journal_root=root):
+            factory = ChipFactory(tech=tech, arch=small_arch, seed=5,
+                                  workers=1, cache=None)
+            return run_policy_comparison(
+                factory, [cls() for cls in self.POLICIES],
+                evaluate or evaluate_uniform_frequency,
+                n_threads=4, n_trials=self.N_TRIALS, n_dies=2, seed=3,
+                experiment=experiment)
+
+    @pytest.fixture(scope="class")
+    def reference(self, tech, small_arch):
+        """Uninterrupted run, journaling off (the pre-journal path)."""
+        from repro.runtime.evaluation import evaluate_uniform_frequency
+        factory = ChipFactory(tech=tech, arch=small_arch, seed=5,
+                              workers=1, cache=None)
+        return run_policy_comparison(
+            factory, [cls() for cls in self.POLICIES],
+            evaluate_uniform_frequency,
+            n_threads=4, n_trials=self.N_TRIALS, n_dies=2, seed=3)
+
+    def test_journaled_run_matches_unjournaled(self, tech, small_arch,
+                                               tmp_path, reference):
+        from repro.runtime.evaluation import evaluate_uniform_frequency
+        counting = _CountingEvaluate(evaluate_uniform_frequency)
+        result = self._run(tech, small_arch, tmp_path, counting)
+        assert result == reference
+        assert counting.calls == self.N_TRIALS * len(self.POLICIES)
+        journal = RunJournal.open(tmp_path, "figtest")
+        assert len(journal) == self.N_TRIALS * len(self.POLICIES)
+
+    def test_interrupted_campaign_resumes_bitwise(self, tech, small_arch,
+                                                  tmp_path, reference):
+        from repro.runtime.evaluation import evaluate_uniform_frequency
+        n_units = self.N_TRIALS * len(self.POLICIES)
+        crash_at = 3
+        crashing = _CountingEvaluate(evaluate_uniform_frequency,
+                                     crash_after=crash_at)
+        with pytest.raises(RuntimeError, match="injected"):
+            self._run(tech, small_arch, tmp_path, crashing)
+        journal = RunJournal.open(tmp_path, "figtest")
+        assert len(journal) == crash_at  # completed units survived
+
+        # Resume: only the remaining units are recomputed, and the
+        # final tables equal the uninterrupted run bitwise.
+        resumed = _CountingEvaluate(evaluate_uniform_frequency)
+        result = self._run(tech, small_arch, tmp_path, resumed)
+        assert resumed.calls == n_units - crash_at
+        assert result == reference
+
+        # A third run replays everything from the journal.
+        replay = _CountingEvaluate(evaluate_uniform_frequency)
+        again = self._run(tech, small_arch, tmp_path, replay)
+        assert replay.calls == 0
+        assert again == reference
+
+    def test_changed_parameters_miss_the_journal(self, tech, small_arch,
+                                                 tmp_path, reference):
+        from repro.runtime.evaluation import evaluate_uniform_frequency
+        first = _CountingEvaluate(evaluate_uniform_frequency)
+        self._run(tech, small_arch, tmp_path, first)
+        # A different seed must not resurrect journaled results.
+        with parallel_config(resume=True, journal_root=tmp_path):
+            factory = ChipFactory(tech=tech, arch=small_arch, seed=5,
+                                  workers=1, cache=None)
+            counting = _CountingEvaluate(evaluate_uniform_frequency)
+            run_policy_comparison(
+                factory, [cls() for cls in self.POLICIES], counting,
+                n_threads=4, n_trials=self.N_TRIALS, n_dies=2, seed=4,
+                experiment="figtest")
+        assert counting.calls == self.N_TRIALS * len(self.POLICIES)
+
+
+class TestPmRunnerResume:
+    def test_static_pm_campaign_resumes_bitwise(self, tech, small_arch,
+                                                tmp_path):
+        from repro.config import COST_PERFORMANCE
+        algorithms = [
+            AlgorithmSpec("Random+Foxton*", RandomPolicy(), FoxtonStar),
+            AlgorithmSpec("VarP+Foxton*", VarP(), FoxtonStar),
+        ]
+
+        def run(root=None):
+            config = (parallel_config(resume=True, journal_root=root)
+                      if root is not None else parallel_config())
+            with config:
+                factory = ChipFactory(tech=tech, arch=small_arch,
+                                      seed=5, workers=1, cache=None)
+                return run_pm_comparison(
+                    factory, COST_PERFORMANCE, n_threads=4, n_trials=2,
+                    n_dies=1, algorithms=algorithms, protocol="static",
+                    seed=3, experiment="pmtest")
+
+        reference = run()
+        partial = run(root=tmp_path)  # full journaled pass
+        assert partial == reference
+        journal = RunJournal.open(tmp_path, "pmtest")
+        assert len(journal) == 4
+        # Replay-only pass (all units journaled) is still identical.
+        assert run(root=tmp_path) == reference
+
+
+class TestCliResume:
+    @pytest.fixture(autouse=True)
+    def _journal_env(self, tmp_path, monkeypatch):
+        self.root = tmp_path / "results"
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(self.root))
+
+    def _table_of(self, capsys):
+        out = capsys.readouterr().out
+        return "\n".join(line for line in out.splitlines()
+                         if not line.startswith("[fig7 completed"))
+
+    def test_resume_journals_and_replays(self, capsys):
+        assert main(["fig7", "--trials", "1", "--resume"]) == 0
+        first = self._table_of(capsys)
+        journal_path = self.root / "fig7" / JOURNAL_FILENAME
+        assert journal_path.exists()
+        size = journal_path.stat().st_size
+        assert size > 0
+
+        # Second run replays from the journal: identical table, no
+        # new units appended (only idempotent complete markers).
+        assert main(["fig7", "--trials", "1", "--resume"]) == 0
+        second = self._table_of(capsys)
+        assert second == first
+        assert journal_path.stat().st_size == size
+
+    def test_fresh_discards_journal(self, capsys):
+        assert main(["fig7", "--trials", "1", "--resume"]) == 0
+        journal_path = self.root / "fig7" / JOURNAL_FILENAME
+        entries = len(RunJournal(journal_path))
+        assert entries > 0
+        assert main(["fig7", "--trials", "1", "--fresh"]) == 0
+        # Journal was rebuilt from scratch with the same unit count.
+        assert len(RunJournal(journal_path)) == entries
+
+    def test_without_resume_no_journal(self, capsys):
+        assert main(["fig7", "--trials", "1"]) == 0
+        assert not (self.root / "fig7").exists()

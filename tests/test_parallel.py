@@ -104,13 +104,17 @@ class TestPayloadRoundTrip:
         assert payloads_equal(profile_payload(rebuilt),
                               profile_payload(profile))
 
-    def test_corrupt_entry_is_a_miss(self, tech, small_arch, tmp_path):
+    def test_corrupt_entry_loads_as_none_and_is_quarantined(
+            self, tech, small_arch, tmp_path):
         cache = CharacterizationCache(tmp_path / "cache")
         key = cache_key(tech, small_arch, 7, 0)
         path = cache.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"not an npz file")
         assert cache.load(key) is None
+        assert cache.stats["corrupt"] == 1
+        assert cache.stats["misses"] == 0
+        assert (cache.quarantine_root / path.name).exists()
 
     def test_store_is_idempotent(self, tech, small_arch, tmp_path):
         cache = CharacterizationCache(tmp_path / "cache")
