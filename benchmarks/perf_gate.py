@@ -16,7 +16,12 @@ those records against the committed ``benchmarks/baseline.json``:
 
 Timing-derived metrics (keys ending in ``_s``, ``speedup_*``,
 ``available_workers``) are machine-dependent and never checked for
-drift.  Records taken at a different ``REPRO_FULL`` setting than the
+drift.  A record may however declare hard **floors** for such metrics
+(a top-level ``"floors": {metric: minimum}`` mapping, emitted through
+``emit(extra=...)`` so ``update`` carries it into the baseline):
+``check`` fails when a floored metric is missing or below its floor —
+this is how speedup guarantees (e.g. warm-started LP re-solves) stay
+enforced without pinning machine-dependent absolute times.  Records taken at a different ``REPRO_FULL`` setting than the
 baseline are skipped, not compared.  Escape hatches:
 ``PERF_GATE_SKIP_WALL=1`` disables the wall-time check (e.g. on
 heavily loaded or exotic runners).
@@ -132,6 +137,20 @@ def check(records: Dict[str, Dict[str, Any]],
                 warnings.append(f"{name}: new metric {key!r} not in "
                                 "baseline (refresh with 'make "
                                 "bench-baseline')")
+
+        # Hard floors: volatile metrics are exempt from the drift
+        # check above, but a declared floor is still enforced.
+        floors = base.get("floors") or record.get("floors") or {}
+        for key, floor in sorted(floors.items()):
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)):
+                failures.append(
+                    f"{name}: floored metric {key!r} missing from "
+                    "record")
+            elif value < floor:
+                failures.append(
+                    f"{name}: metric {key!r} = {value:.3f} below "
+                    f"declared floor {floor:g}")
 
     for name in sorted(set(records) - set(baseline)):
         warnings.append(f"{name}: not in baseline (refresh with "

@@ -1,0 +1,149 @@
+"""Benchmark: warm-started bounded LP engine vs the reference solver.
+
+Replays the workload the tentpole targets: a 100-interval sequence of
+Fig-15-shaped LinOpt LPs (budget row + per-core rows + box bounds,
+n = 20 threads) whose objective/RHS drift a little each 10 ms interval
+— exactly the re-invocation loop of Section 4.3.1. The reference
+solver cold-solves every interval; the bounded engine carries its
+:class:`~repro.linprog.bounded.WarmState` across intervals. Rounds of
+the two modes are interleaved so load spikes hit both, the minimum
+wall per mode is compared, and the run asserts the warm sequence is at
+least ``MIN_SPEEDUP`` x faster.
+
+Before timing anything, every interval's warm solve is checked
+*bitwise* against a cold bounded solve of the same problem — the
+determinism anchor DESIGN.md §15 documents — and the deterministic
+pivot/flop totals are recorded for the perf gate. The speedup itself
+is machine-dependent, so it is enforced through the gate's ``floors``
+mechanism rather than the drift check.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.common import format_rows
+from repro.linprog import solve_bounded, solve_lp_maximize
+
+# Interleaved measurement rounds per mode.
+N_ROUNDS = 5
+# LinOpt problem shape: n threads -> budget row + n per-core rows.
+N_THREADS = 20
+N_INTERVALS = 100
+SEED = 0
+
+MIN_SPEEDUP = 3.0
+
+
+def _interval_problems(seed, n=N_THREADS, n_intervals=N_INTERVALS):
+    """Fig-15-shaped LP sequence with per-interval drift.
+
+    Interval 0 matches the structure of ``test_linopt_shaped_problem``;
+    later intervals drift the objective (~1%), the power slopes
+    (~0.5%) and the budget (~0.2%) the way successive 10 ms LinOpt
+    invocations see their measured inputs move.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(5.0, 20.0, n)       # objective (ipc * f-slope)
+    b = rng.uniform(2.0, 8.0, n)        # power slopes
+    problems = []
+    for t in range(n_intervals):
+        drift = float(t > 0)
+        c = a * (1.0 + 0.01 * rng.standard_normal(n) * drift)
+        slopes = b * (1.0 + 0.005 * rng.standard_normal(n) * drift)
+        budget = (0.6 * slopes.sum() * 0.4
+                  * (1.0 + 0.002 * rng.standard_normal() * drift))
+        rows = [slopes]
+        rhs = [budget]
+        for i in range(n):
+            row = np.zeros(n)
+            row[i] = slopes[i]
+            rows.append(row)
+            rhs.append(0.35 * slopes[i])
+        problems.append((c, np.vstack(rows), np.array(rhs),
+                         np.full(n, 0.4)))
+        a, b = c, slopes
+    return problems
+
+
+def test_linprog_warm_speedup(benchmark, results_dir):
+    problems = _interval_problems(SEED)
+
+    # --- Correctness before speed: warm == cold, bitwise. ---
+    warm = None
+    warm_hits = 0
+    warm_pivots = cold_pivots = 0
+    warm_flops = cold_flops = 0
+    for c, a_ub, b_ub, upper in problems:
+        res_warm, warm = solve_bounded(c, a_ub, b_ub, upper=upper,
+                                       warm=warm)
+        res_cold, _ = solve_bounded(c, a_ub, b_ub, upper=upper)
+        assert res_warm.is_optimal and res_cold.is_optimal
+        np.testing.assert_array_equal(res_warm.x, res_cold.x)
+        warm_hits += int(res_warm.warm)
+        warm_pivots += res_warm.iterations
+        cold_pivots += res_cold.iterations
+        warm_flops += res_warm.flops
+        cold_flops += res_cold.flops
+        ref = solve_lp_maximize(c, a_ub, b_ub, upper=upper)
+        assert ref.is_optimal
+        np.testing.assert_allclose(res_warm.objective, ref.objective,
+                                   rtol=1e-9)
+
+    def measure():
+        def run_reference():
+            for c, a_ub, b_ub, upper in problems:
+                solve_lp_maximize(c, a_ub, b_ub, upper=upper)
+
+        def run_warm():
+            state = None
+            for c, a_ub, b_ub, upper in problems:
+                _, state = solve_bounded(c, a_ub, b_ub, upper=upper,
+                                         warm=state)
+
+        ref_walls, warm_walls = [], []
+        for _ in range(N_ROUNDS):
+            t0 = time.perf_counter()
+            run_reference()
+            ref_walls.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run_warm()
+            warm_walls.append(time.perf_counter() - t0)
+        return min(ref_walls), min(warm_walls)
+
+    ref_wall, warm_wall = benchmark.pedantic(measure, rounds=1,
+                                             iterations=1)
+    speedup = ref_wall / warm_wall
+
+    metrics = {
+        # Deterministic solver totals: the gate pins these, so a
+        # change in pivot paths or flop accounting shows up as drift.
+        "warm_hits": float(warm_hits),
+        "warm_pivots_total": float(warm_pivots),
+        "cold_pivots_total": float(cold_pivots),
+        "warm_flops_total": float(warm_flops),
+        "cold_flops_total": float(cold_flops),
+        # Machine-dependent: exempt from drift, floored below.
+        "speedup_warm_vs_reference": speedup,
+        "reference_wall_s": ref_wall,
+        "warm_wall_s": warm_wall,
+    }
+    table = format_rows(
+        ["mode", "wall ms", "pivots", "flops"],
+        [["reference cold", 1e3 * ref_wall, "-", "-"],
+         ["bounded cold", "-", cold_pivots, cold_flops],
+         ["bounded warm", 1e3 * warm_wall, warm_pivots, warm_flops]],
+        f"Warm-started LP engine vs reference on {N_INTERVALS} "
+        f"drifting intervals (n={N_THREADS}; min over {N_ROUNDS} "
+        f"interleaved rounds; speedup {speedup:.2f}x)")
+    emit(results_dir, "linprog", table, benchmark=benchmark,
+         metrics=metrics,
+         extra={"floors": {"speedup_warm_vs_reference": MIN_SPEEDUP}})
+
+    assert warm_hits >= N_INTERVALS - 5, (
+        f"warm start only engaged on {warm_hits}/{N_INTERVALS} "
+        "intervals")
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm-started sequence only {speedup:.2f}x faster than the "
+        "reference solver")

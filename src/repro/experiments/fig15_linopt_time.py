@@ -7,6 +7,15 @@ counter; the modelled time is ``flops / (4 GHz * FLOPS_PER_CYCLE)``.
 We report the modelled time of a single LP solve (LinOpt's successive
 passes each solve one such LP), plus the measured Python wall time for
 reference.
+
+The flop counter follows the unified accounting rules of
+:mod:`repro.linprog.simplex`, so modelled times are comparable across
+the simplex engines (``lp_backend`` selects one). Each invocation here
+is a *cold* solve — a fresh manager per trial, matching the paper's
+single-invocation measurement — so the bounded engine's warm-start
+savings do not appear in this figure. The ``highs`` backend reports
+``flops=0`` (no work counter) and would model as 0 us; use the
+from-scratch backends for Fig. 15.
 """
 
 from __future__ import annotations
@@ -57,8 +66,14 @@ def run(
     n_trials: int = 4,
     factory: Optional[ChipFactory] = None,
     seed: int = 0,
+    lp_backend: Optional[str] = None,
 ) -> Fig15Result:
-    """Reproduce Figure 15."""
+    """Reproduce Figure 15.
+
+    ``lp_backend`` names the LP engine to instrument (``None`` =
+    session default); each trial builds a fresh manager, so every
+    solve is cold regardless of the engine's warm-start support.
+    """
     factory = factory or ChipFactory()
     factory.prefetch(n_trials)
     modelled: Dict[str, List[float]] = {e.name: [] for e in environments}
@@ -75,7 +90,8 @@ def run(
                 assignment = VarFAppIPC().assign_with_profiling(
                     chip, workload, rng)
                 manager = LinOpt(LinOptConfig(n_iterations=1,
-                                              refill=False))
+                                              refill=False),
+                                 lp_backend=lp_backend)
                 t0 = time.perf_counter()
                 result = manager.set_levels(chip, workload, assignment,
                                             env, rng)

@@ -69,6 +69,11 @@ class ResilientManager(PowerManager):
         self.name = f"Resilient({self.primary.name})"
         #: Cumulative count of invocations decided below tier 0.
         self.fallback_activations = 0
+        #: Cumulative count of LP solves inside the primary that came
+        #: back non-optimal and fell back to the clamp-to-floor plan
+        #: (surfaced by LinOpt as ``lp_fallbacks`` — a *within-tier-0*
+        #: degradation, distinct from tier changes).
+        self.lp_fallbacks = 0
         self._injected: Optional[str] = None
 
     def inject_failure(self, kind: str = MANAGER_ERROR) -> None:
@@ -123,6 +128,10 @@ class ResilientManager(PowerManager):
             result = self.primary.set_levels(chip, workload, assignment,
                                              env, **kwargs)
             evaluations += result.evaluations
+            # LP-level fallbacks are counted even when the tier-0
+            # answer is later discarded: the solver still degraded.
+            self.lp_fallbacks += int(
+                result.stats.get("lp_fallbacks", 0.0))
             if injected == MANAGER_DEADLINE or (
                     self.evaluation_budget is not None
                     and result.evaluations > self.evaluation_budget):

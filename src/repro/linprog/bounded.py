@@ -1,0 +1,500 @@
+"""Bounded-variable two-phase Simplex with warm-started re-solves.
+
+The reference solver (:mod:`repro.linprog.simplex`) handles upper
+bounds by appending ``np.eye(n)`` rows, growing the tableau from
+``m x (m + n)`` to ``(m + n) x (m + 2n)``. This engine pivots the
+bounds natively — nonbasic variables may rest at either bound, the
+ratio test considers basic variables hitting *both* bounds plus the
+entering variable flipping to its opposite bound — so LinOpt's
+(budget row + per-core rows + box bounds) LP keeps its natural
+``(n + 1) x (2n + 1)`` tableau.
+
+Warm starts exploit LinOpt's 10 ms re-invocation loop (Section 4.3.1):
+successive solves differ only in objective/RHS drift, so the previous
+optimal basis is usually primal feasible and at most a handful of
+pivots from optimal. :func:`solve_bounded` accepts the
+:class:`WarmState` returned by the previous call, validates it against
+the *new* data (see ``WarmState``), and falls back to a cold two-phase
+solve whenever the stale basis is unusable.
+
+Determinism anchor: at optimality the solution is *recomputed
+canonically* from the final ``(basis, at_upper)`` pair via one
+``np.linalg.solve`` against the original column data, so the returned
+``x`` is a pure function of the final basis — a warm solve that ends
+in the same basis as a cold solve returns bitwise-identical ``x``
+regardless of the pivot path taken to get there. The regression suite
+pins this on LinOpt-shaped interval campaigns.
+
+Flop accounting follows the unified rules documented in
+:mod:`repro.linprog.simplex` (entering scan ``n_cols``, ratio test
+``3 m``, pivot ``2 * table.size``), plus bounded-engine specifics:
+a bound flip charges ``2 m`` (RHS update) and a warm tableau rebuild
+charges ``m^2 (N + 1) + m^3`` (factor + multi-RHS solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .simplex import (
+    BLAND_THRESHOLD,
+    EPS,
+    MAX_PIVOTS,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_UNBOUNDED,
+    LpResult,
+)
+
+# Residual sum of artificial variables above which phase 1 declares
+# the problem infeasible (matches the reference solver).
+_FEAS_TOL = 1e-7
+# Bound tolerance when validating a stale basis for warm start.
+_WARM_TOL = 1e-9
+
+
+@dataclass
+class WarmState:
+    """Reusable outcome of a bounded-variable solve.
+
+    Attributes:
+        basis: Variable index basic in each row (structural ``0..n``,
+            slack ``n..n+m``; never an artificial).
+        at_upper: Per-variable flag: nonbasic at its *upper* bound.
+        n: Structural variable count of the originating problem.
+        m: Constraint row count of the originating problem.
+
+    A stale state must be **discarded** (cold solve) when any of the
+    following hold for the new problem — these are the warm-start
+    invariants DESIGN.md §15 documents:
+
+    * the problem shape changed (``n`` or ``m`` differ);
+    * the basis matrix built from the new columns is singular;
+    * the basic point it induces violates a bound by more than
+      ``1e-9`` (RHS drifted past the old vertex);
+    * the originating solve dropped redundant rows or ended non-optimal
+      (such solves return ``None`` instead of a state).
+    """
+
+    basis: np.ndarray
+    at_upper: np.ndarray
+    n: int
+    m: int
+
+
+class _BoundedTableau:
+    """Mutable bounded-variable tableau with pivot bookkeeping.
+
+    The RHS column stores the *values of the basic variables* (not
+    ``B^-1 b``): contributions of nonbasic-at-upper variables are
+    folded in, and every pivot recomputes the column explicitly from
+    the ratio-test step so all four leave/enter bound combinations
+    stay consistent.
+    """
+
+    def __init__(self, table: np.ndarray, basis: np.ndarray,
+                 at_upper: np.ndarray, upper_ext: np.ndarray) -> None:
+        self.table = table
+        self.basis = basis
+        self.at_upper = at_upper
+        self.upper_ext = upper_ext
+        self.pivots = 0
+        self.flops = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Constraint rows currently in the tableau."""
+        return self.table.shape[0] - 1
+
+    def run(self, n_cols: int) -> str:
+        """Optimise the last row's objective; returns a status string.
+
+        ``n_cols`` restricts entering-variable choice to structural +
+        slack columns in both phases (artificials never re-enter).
+        """
+        stall = 0
+        while self.pivots < MAX_PIVOTS:
+            costs = self.table[-1, :n_cols]
+            # Effective cost: an at-upper nonbasic improves by
+            # *decreasing*, which negates its reduced cost.
+            eff = np.where(self.at_upper[:n_cols], -costs, costs)
+            self.flops += n_cols
+            if stall > BLAND_THRESHOLD:
+                candidates = np.nonzero(eff < -EPS)[0]
+                col = int(candidates[0]) if candidates.size else -1
+            else:
+                col = int(np.argmin(eff))
+                if eff[col] >= -EPS:
+                    col = -1
+            if col < 0:
+                return STATUS_OPTIMAL
+            direction = -1.0 if self.at_upper[col] else 1.0
+            step = self._ratio_test(col, direction)
+            if step is None:
+                return STATUS_UNBOUNDED
+            t_star, row, to_upper = step
+            if row < 0:
+                self._bound_flip(col, direction, t_star)
+            else:
+                self.pivot(row, col, direction, t_star, to_upper)
+            improvement = -float(eff[col]) * t_star
+            stall = stall + 1 if improvement <= EPS else 0
+        raise RuntimeError("bounded simplex exceeded pivot limit")
+
+    def _ratio_test(
+            self, col: int, direction: float,
+    ) -> Optional[Tuple[float, int, bool]]:
+        """Largest step for the entering column.
+
+        Returns ``(t_star, row, leaves_to_upper)`` where ``row < 0``
+        encodes a bound flip (the entering variable reaches its own
+        opposite bound first), or ``None`` when the LP is unbounded.
+        """
+        m = self.n_rows
+        move = direction * self.table[:m, col]
+        xb = self.table[:m, -1]
+        ub_basic = self.upper_ext[self.basis]
+        self.flops += 3 * m
+        # Basic variable driven down to its lower bound (0).
+        limits = np.full(m, np.inf)
+        dec = move > EPS
+        limits[dec] = np.maximum(xb[dec], 0.0) / move[dec]
+        # Basic variable driven up to its (finite) upper bound.
+        inc = (move < -EPS) & np.isfinite(ub_basic)
+        limits[inc] = np.minimum(
+            limits[inc],
+            np.maximum(ub_basic[inc] - xb[inc], 0.0) / -move[inc])
+        row_limit = float(limits.min()) if m else np.inf
+        flip_limit = float(self.upper_ext[col])
+        if not np.isfinite(min(row_limit, flip_limit)):
+            return None
+        if flip_limit <= row_limit:
+            return flip_limit, -1, False
+        ties = np.nonzero(limits <= row_limit + EPS)[0]
+        # Bland-style tie-break: smallest basis index among the ties.
+        row = int(ties[np.argmin(self.basis[ties])])
+        return float(limits[row]), row, bool(move[row] < 0)
+
+    def _bound_flip(self, col: int, direction: float, t: float) -> None:
+        """Move a nonbasic variable to its opposite bound (no pivot)."""
+        m = self.n_rows
+        self.table[:m, -1] -= direction * self.table[:m, col] * t
+        self.at_upper[col] = not self.at_upper[col]
+        self.pivots += 1
+        self.flops += 2 * m
+
+    def pivot(self, row: int, col: int, direction: float,
+              t: float, leaves_to_upper: bool) -> None:
+        """Exchange ``basis[row]`` for ``col`` after a step of ``t``."""
+        table = self.table
+        m = self.n_rows
+        new_xb = table[:m, -1] - direction * table[:m, col] * t
+        entering_value = direction * t + (
+            self.upper_ext[col] if self.at_upper[col] else 0.0)
+        leaving = int(self.basis[row])
+        table[row] /= table[row, col]
+        pivot_col = table[:, col].copy()
+        pivot_col[row] = 0.0
+        table -= np.outer(pivot_col, table[row])
+        # Guard against drift: the pivot column must become a unit
+        # vector exactly (the entering scans compare against EPS).
+        table[:, col] = 0.0
+        table[row, col] = 1.0
+        table[:m, -1] = new_xb
+        table[row, -1] = entering_value
+        self.basis[row] = col
+        self.at_upper[col] = False
+        self.at_upper[leaving] = (
+            leaves_to_upper and bool(np.isfinite(self.upper_ext[leaving])))
+        self.pivots += 1
+        self.flops += 2 * table.size
+
+
+class _BoundedSolve:
+    """One bounded-variable solve: cold two-phase or warm re-solve."""
+
+    def __init__(self, c: np.ndarray, a: np.ndarray, b: np.ndarray,
+                 upper: np.ndarray) -> None:
+        self.c = c
+        self.a = a
+        self.b = b
+        self.upper = upper
+        self.n = c.size
+        self.m = a.shape[0]
+        self.n_vars = self.n + self.m
+        self.upper_full = np.concatenate(
+            [upper, np.full(self.m, np.inf)])
+        self.tab: Optional[_BoundedTableau] = None
+        self.kept = np.arange(self.m)
+        self.used_warm = False
+        self.extra_flops = 0
+        self._columns: Optional[np.ndarray] = None
+        self._warm_xb: Optional[np.ndarray] = None
+
+    def columns(self) -> np.ndarray:
+        """Canonical column matrix ``[A | I]`` (original row signs)."""
+        if self._columns is None:
+            self._columns = np.hstack([self.a, np.eye(self.m)])
+        return self._columns
+
+    # ------------------------------------------------------------------
+    # Cold path: flip negative-RHS rows, phase 1 on artificials,
+    # phase 2 on the true objective.
+    # ------------------------------------------------------------------
+    def solve_cold(self) -> str:
+        """Two-phase solve from the all-slack starting basis."""
+        n, m, n_vars = self.n, self.m, self.n_vars
+        signs = np.where(self.b < 0, -1.0, 1.0)
+        a_s = self.a * signs[:, None]
+        b_s = self.b * signs
+        needs_art = signs < 0
+        art_rows = np.nonzero(needs_art)[0]
+        n_art = art_rows.size
+
+        table = np.zeros((m + 1, n_vars + n_art + 1))
+        table[:m, :n] = a_s
+        table[np.arange(m), n + np.arange(m)] = signs
+        table[art_rows, n_vars + np.arange(n_art)] = 1.0
+        table[:m, -1] = b_s
+
+        basis = n + np.arange(m)
+        basis[art_rows] = n_vars + np.arange(n_art)
+        at_upper = np.zeros(n_vars + n_art, dtype=bool)
+        upper_ext = np.concatenate(
+            [self.upper_full, np.full(n_art, np.inf)])
+        self.tab = _BoundedTableau(table, basis, at_upper, upper_ext)
+
+        if n_art:
+            # Phase 1: minimise the artificial sum == maximise -sum.
+            table[-1, :] = 0.0
+            table[-1, n_vars:n_vars + n_art] = 1.0
+            for i in art_rows:
+                table[-1, :] -= table[i, :]
+            status = self.tab.run(n_vars)
+            if status != STATUS_OPTIMAL:
+                return STATUS_INFEASIBLE
+            residual = float(table[:m, -1][basis >= n_vars].sum())
+            if residual > _FEAS_TOL:
+                return STATUS_INFEASIBLE
+            self._purge_artificials()
+
+        self._install_phase2_costs()
+        return self.tab.run(self.n_vars)
+
+    def _purge_artificials(self) -> None:
+        """Drive leftover artificials out; drop redundant rows.
+
+        A basic artificial whose row has no usable pivot marks a
+        linearly dependent constraint: the row is removed (keeping it
+        would break the unit-column basis invariant), and the solve is
+        flagged non-reusable for warm starts.
+        """
+        tab = self.tab
+        redundant = []
+        for i in range(tab.n_rows):
+            if tab.basis[i] >= self.n_vars:
+                row_coeffs = np.abs(tab.table[i, :self.n_vars])
+                j = int(np.argmax(row_coeffs))
+                if row_coeffs[j] > EPS:
+                    direction = -1.0 if tab.at_upper[j] else 1.0
+                    tab.pivot(i, j, direction, 0.0, False)
+                else:
+                    redundant.append(i)
+        if redundant:
+            tab.table = np.delete(tab.table, redundant, axis=0)
+            tab.basis = np.delete(tab.basis, redundant)
+            self.kept = np.delete(self.kept, redundant)
+        # Artificial columns are dead from here on: slice them off so
+        # phase-2 pivots stop paying for them.
+        tab.table = np.hstack(
+            [tab.table[:, :self.n_vars], tab.table[:, -1:]])
+        tab.at_upper = tab.at_upper[:self.n_vars]
+        tab.upper_ext = self.upper_full
+
+    # ------------------------------------------------------------------
+    # Warm path: rebuild the tableau from a previous basis.
+    # ------------------------------------------------------------------
+    def solve_warm(self, warm: WarmState) -> Optional[str]:
+        """Re-solve from a previous basis; ``None`` if it is stale."""
+        if warm.n != self.n or warm.m != self.m:
+            return None
+        basis = np.array(warm.basis, dtype=int, copy=True)
+        if basis.shape != (self.m,) or np.any(basis < 0) \
+                or np.any(basis >= self.n_vars):
+            return None
+        at_upper = np.array(warm.at_upper, dtype=bool, copy=True)
+        if at_upper.shape != (self.n_vars,):
+            return None
+        # A bound that widened to +inf can no longer host a nonbasic.
+        at_upper &= np.isfinite(self.upper_full)
+        at_upper[basis] = False
+        # Sort the basis (rows of the rebuilt tableau are equations —
+        # their order is free) so the feasibility solve below is the
+        # exact computation :meth:`extract` performs, and a zero-pivot
+        # warm solve can reuse it bitwise.
+        basis = np.sort(basis)
+
+        columns = self.columns()
+        up_idx = np.nonzero(at_upper)[0]
+        b_eff = self.b - columns[:, up_idx] @ self.upper_full[up_idx]
+        try:
+            basic_cols = columns[:, basis]
+            xb = np.linalg.solve(basic_cols, b_eff)
+            body = np.linalg.solve(basic_cols, columns)
+        except np.linalg.LinAlgError:
+            return None
+        ub_basic = self.upper_full[basis]
+        if np.any(xb < -_WARM_TOL) or np.any(xb > ub_basic + _WARM_TOL):
+            return None
+
+        m, n_vars = self.m, self.n_vars
+        table = np.zeros((m + 1, n_vars + 1))
+        table[:m, :n_vars] = body
+        table[:m, -1] = xb
+        # Enforce exact unit basis columns (the solve leaves ~1e-16
+        # residue that the EPS scans must not see).
+        table[:, basis] = 0.0
+        table[np.arange(m), basis] = 1.0
+        self.tab = _BoundedTableau(table, basis, at_upper,
+                                   self.upper_full)
+        self.tab.flops += m * m * (n_vars + 1) + m ** 3
+        self.used_warm = True
+        self._warm_xb = xb.copy()
+        self._install_phase2_costs()
+        return self.tab.run(n_vars)
+
+    # ------------------------------------------------------------------
+    # Shared machinery.
+    # ------------------------------------------------------------------
+    def _install_phase2_costs(self) -> None:
+        """Write the true objective's reduced costs into the last row."""
+        tab = self.tab
+        table = tab.table
+        table[-1, :] = 0.0
+        table[-1, :self.n] = -self.c
+        structural = tab.basis < self.n
+        if np.any(structural):
+            table[-1, :] += (self.c[tab.basis[structural]]
+                             @ table[:-1][structural])
+        table[-1, tab.basis] = 0.0
+
+    def extract(self) -> np.ndarray:
+        """Recover ``x`` from the final basis.
+
+        The canonical path solves ``B x_B = b - A_U u`` against the
+        *original* column data, making ``x`` a pure function of the
+        final ``(basis, at_upper)`` pair — the warm-vs-cold bitwise
+        guarantee. When redundant rows were dropped (warm start is
+        disabled then anyway) the tableau RHS is read directly, like
+        the reference solver does.
+        """
+        tab = self.tab
+        x_full = np.zeros(self.n_vars)
+        up_idx = np.nonzero(tab.at_upper[:self.n_vars])[0]
+        x_full[up_idx] = self.upper_full[up_idx]
+        if self.used_warm and tab.pivots == 0:
+            # Zero-iteration warm solve: the feasibility solve already
+            # computed exactly what the canonical recompute would (the
+            # basis was sorted up front), so reuse it bitwise.
+            x_full[tab.basis] = self._warm_xb
+            return x_full[:self.n]
+        if self.kept.size == self.m:
+            columns = self.columns()
+            b_eff = (self.b
+                     - columns[:, up_idx] @ self.upper_full[up_idx])
+            # Sort the basis before factoring: the same basis *set*
+            # reached through different pivot orders must produce the
+            # same column permutation, or LU rounding would differ in
+            # the last bits and break warm-vs-cold bitwise identity.
+            ordered = np.sort(tab.basis)
+            try:
+                xb = np.linalg.solve(columns[:, ordered], b_eff)
+                x_full[ordered] = xb
+                self.extra_flops += (self.m ** 3
+                                     + 2 * self.m * up_idx.size)
+                return x_full[:self.n]
+            except np.linalg.LinAlgError:  # pragma: no cover - guard
+                pass
+        x_full[tab.basis] = tab.table[:tab.n_rows, -1]
+        return x_full[:self.n]
+
+    def warm_out(self, status: str) -> Optional[WarmState]:
+        """Warm state for the next solve, if this one is reusable."""
+        if status != STATUS_OPTIMAL or self.kept.size != self.m:
+            return None
+        tab = self.tab
+        if np.any(tab.basis >= self.n_vars):  # pragma: no cover - guard
+            return None
+        return WarmState(basis=tab.basis.copy(),
+                         at_upper=tab.at_upper[:self.n_vars].copy(),
+                         n=self.n, m=self.m)
+
+
+def solve_bounded(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    upper: Optional[np.ndarray] = None,
+    warm: Optional[WarmState] = None,
+) -> Tuple[LpResult, Optional[WarmState]]:
+    """Maximise ``c @ x`` s.t. ``a_ub @ x <= b_ub``, ``0 <= x <= upper``.
+
+    Args:
+        c: Objective coefficients, shape (n,).
+        a_ub: Inequality matrix, shape (m, n).
+        b_ub: Inequality right-hand sides, shape (m,).
+        upper: Optional per-variable upper bounds, handled natively by
+            the bounded-variable pivot rules (``None`` = unbounded
+            above).
+        warm: Optional :class:`WarmState` from a previous solve of a
+            same-shaped problem; discarded automatically when stale.
+
+    Returns:
+        ``(result, warm_state)`` — the :class:`LpResult` plus the
+        state to pass to the next solve (``None`` when the solve is
+        not reusable: non-optimal, or redundant rows were dropped).
+    """
+    c = np.asarray(c, dtype=float)
+    a = np.atleast_2d(np.asarray(a_ub, dtype=float))
+    b = np.asarray(b_ub, dtype=float)
+    n = c.size
+    if a.shape[1] != n or a.shape[0] != b.size:
+        raise ValueError("inconsistent LP dimensions")
+    if upper is None:
+        u = np.full(n, np.inf)
+    else:
+        u = np.asarray(upper, dtype=float)
+        if u.shape != (n,):
+            raise ValueError("upper bounds must match variable count")
+        if np.any(u < 0):
+            return (LpResult(STATUS_INFEASIBLE, np.zeros(n),
+                             float("nan"), 0, 0, backend="bounded"),
+                    None)
+
+    solve = _BoundedSolve(c, a, b, u)
+    status: Optional[str] = None
+    if warm is not None:
+        status = solve.solve_warm(warm)
+    warm_flops = solve.tab.flops if solve.used_warm else 0
+    warm_pivots = solve.tab.pivots if solve.used_warm else 0
+    if status is None:
+        solve.used_warm = False
+        status = solve.solve_cold()
+        solve.tab.flops += warm_flops
+        solve.tab.pivots += warm_pivots
+
+    if status != STATUS_OPTIMAL:
+        result = LpResult(status, np.zeros(n), float("nan"),
+                          solve.tab.pivots, solve.tab.flops,
+                          backend="bounded", warm=solve.used_warm)
+        return result, None
+
+    x = solve.extract()
+    result = LpResult(STATUS_OPTIMAL, x, float(c @ x),
+                      solve.tab.pivots,
+                      solve.tab.flops + solve.extra_flops,
+                      backend="bounded", warm=solve.used_warm)
+    return result, solve.warm_out(status)

@@ -14,6 +14,19 @@ a degeneracy threshold to guarantee termination.
 
 The solver counts floating-point work (``flops``); the Fig. 15
 experiment converts that count into execution time on a 4 GHz core.
+The accounting is shared with :mod:`repro.linprog.bounded` so LP time
+is comparable across pricing modes and backends:
+
+* entering-variable scan — one flop per scanned column, charged
+  identically by the Dantzig (``argmin``) and Bland (first negative)
+  branches;
+* ratio test — ``3 m`` flops: forming the ratios (compare + divide,
+  ``2 m``) plus the tie-break scan (``m``);
+* pivot — ``2 * table.size`` flops (scale row + rank-1 update).
+
+This module is the *bitwise reference*: the faster engines in
+:mod:`repro.linprog.bounded` and the optional HiGHS backend
+(:mod:`repro.linprog.backends`) are cross-checked against it.
 """
 
 from __future__ import annotations
@@ -43,8 +56,14 @@ class LpResult:
         status: "optimal", "infeasible" or "unbounded".
         x: Optimal variable values (zeros unless optimal).
         objective: Optimal objective value (``nan`` unless optimal).
-        iterations: Total Simplex pivots across both phases.
-        flops: Approximate floating-point operations performed.
+        iterations: Total Simplex pivots across both phases (for the
+            bounded engine this includes bound flips; for the HiGHS
+            backend it is the solver-reported iteration count).
+        flops: Approximate floating-point operations performed (0 for
+            the HiGHS backend, which does not expose its work count).
+        backend: Name of the backend that produced the result.
+        warm: Whether the solve reused a previous basis (bounded
+            engine only).
     """
 
     status: str
@@ -52,6 +71,8 @@ class LpResult:
     objective: float
     iterations: int
     flops: int
+    backend: str = "reference"
+    warm: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -83,13 +104,19 @@ class _Tableau:
     def run(self, n_cols: int) -> str:
         """Optimise the last row's objective; returns a status string.
 
-        ``n_cols`` restricts entering-variable choice (used to exclude
-        artificial columns in phase 2).
+        ``n_cols`` restricts entering-variable choice. Both phases pass
+        ``n + n_slack``: phase 2 to exclude artificial columns from the
+        true objective, and phase 1 so artificial variables that have
+        already left the basis can never *re-enter* as pivot columns —
+        re-admitting them lets phase 1 churn on wasted pivots and
+        inflates the pivot/flop counts Fig. 15 reports.
         """
         stall = 0
         last_obj = self.table[-1, -1]
         while self.pivots < MAX_PIVOTS:
             costs = self.table[-1, :n_cols]
+            # Entering scan: one comparison per scanned column, charged
+            # identically whichever pricing branch runs.
             self.flops += n_cols
             if stall > BLAND_THRESHOLD:
                 candidates = np.nonzero(costs < -EPS)[0]
@@ -113,7 +140,10 @@ class _Tableau:
         t = self.table
         column = t[:-1, col]
         rhs = t[:-1, -1]
-        self.flops += 2 * column.size
+        # Ratios (compare + divide) plus the tie-break scan below: the
+        # tie-break walks the whole ratio vector, so it is charged like
+        # the other full-column passes.
+        self.flops += 3 * column.size
         positive = column > EPS
         if not np.any(positive):
             return None
@@ -196,7 +226,11 @@ def solve_lp_maximize(
         for i in range(m):
             if basis[i] >= n + n_slack:
                 table[-1, :] -= table[i, :]
-        status = tab.run(total)
+        # Scan only structural + slack columns: an artificial that has
+        # left the basis must never re-enter (it cannot lower the
+        # phase-1 objective at the optimum, and re-admitting it wastes
+        # pivots on degenerate churn).
+        status = tab.run(n + n_slack)
         if status != STATUS_OPTIMAL or table[-1, -1] < -1e-7:
             return LpResult(STATUS_INFEASIBLE, np.zeros(n), float("nan"),
                             tab.pivots, tab.flops)

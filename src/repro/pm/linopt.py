@@ -25,18 +25,28 @@ passes, re-profiling power locally (within a trust region of DVFS
 levels) around the current operating point. Operationally this is the
 same refinement the paper's 10 ms re-invocation loop performs across
 invocations; the `ablation_slp` bench quantifies it.
+
+The LP itself is solved through the pluggable backend seam
+(:mod:`repro.linprog.backends`): the default warm-started bounded
+engine carries the previous pass's optimal basis, so the successive
+near-identical solves finish in a handful of pivots. A solve that
+comes back non-optimal (budget below the all-minimum point, or a
+numerically hopeless instance) falls back to clamping every core to
+its window floor and is surfaced as ``lp_fallbacks`` in
+``PmResult.stats`` — the all-zeros ``x`` of a failed solve is never
+consumed as if it were a plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..chip import ChipProfile
 from ..config import PowerEnvironment
-from ..linprog import solve_lp_maximize
+from ..linprog import LpBackend, LpProblem, make_backend
 from ..power import IpcSensor, PowerSensor, core_reader, independent_rngs
 from ..runtime.evaluation import Assignment, SystemState
 from ..workloads import Workload
@@ -195,9 +205,15 @@ class LinOpt(PowerManager):
     def __init__(self, config: Optional[LinOptConfig] = None,
                  power_sensor: Optional[PowerSensor] = None,
                  ipc_sensor: Optional[IpcSensor] = None,
-                 use_kernel: bool = True) -> None:
+                 use_kernel: bool = True,
+                 lp_backend: Union[str, LpBackend, None] = None) -> None:
+        """``lp_backend`` accepts a backend name or instance; ``None``
+        consults ``REPRO_LP_BACKEND`` (default: warm-started bounded
+        engine). The backend persists across invocations so its warm
+        basis carries through the 10 ms re-invocation loop."""
         self.config = config or LinOptConfig()
         self.use_kernel = use_kernel
+        self.lp_backend = make_backend(lp_backend)
         # Default sensors get *independent* child streams of one parent
         # seed: a shared default_rng(0) would correlate power and IPC
         # noise sample-for-sample once noise is configured.
@@ -236,7 +252,8 @@ class LinOpt(PowerManager):
 
         stats: dict = {"lp_pivots": 0.0, "lp_flops": 0.0,
                        "corrections": 0.0, "refills": 0.0,
-                       "lp_optimal": 1.0}
+                       "lp_optimal": 1.0, "lp_warm_solves": 0.0,
+                       "lp_cold_solves": 0.0, "lp_fallbacks": 0.0}
         best: Optional[tuple] = None
         for iteration in range(self.config.n_iterations):
             levels, current, evals = self._one_pass(
@@ -319,21 +336,29 @@ class LinOpt(PowerManager):
             a_rows.append(row)
             b_vals.append(p_core_max - fit.intercept[i]
                           - fit.slope[i] * vlow[i])
-        lp = solve_lp_maximize(
+        lp = self.lp_backend.solve(LpProblem(
             c=objective,
             a_ub=np.vstack(a_rows),
             b_ub=np.array(b_vals),
             upper=vhigh - vlow,
-        )
+        ))
         stats["lp_pivots"] += float(lp.iterations)
         stats["lp_flops"] += float(lp.flops)
         stats["lp_optimal"] = min(stats["lp_optimal"],
                                   float(lp.is_optimal))
+        if lp.warm:
+            stats["lp_warm_solves"] += 1.0
+        else:
+            stats["lp_cold_solves"] += 1.0
 
         if lp.is_optimal:
             v_star = vlow + lp.x
         else:
-            # Budget below even the all-minimum point: run at the floor.
+            # Non-optimal solves return x = zeros, which is NOT a plan:
+            # clamp every core to its window floor explicitly and
+            # surface the event (ResilientManager folds this into its
+            # tier accounting).
+            stats["lp_fallbacks"] += 1.0
             v_star = vlow.copy()
 
         # --- Quantise to each core's discrete levels. ---

@@ -235,8 +235,13 @@ class TestLinOptBehaviour:
             chip, wl, asg, COST_PERFORMANCE)
         res3 = LinOpt(LinOptConfig(n_iterations=3)).set_levels(
             chip, wl, asg, COST_PERFORMANCE)
-        # More passes solve more LPs.
-        assert res3.stats["lp_pivots"] > res1.stats["lp_pivots"]
+        # More passes solve more LPs. (Pivot counts are no longer a
+        # proxy for solve counts: the warm-started default backend
+        # finishes re-solves in ~0 pivots.)
+        solves1 = res1.stats["lp_warm_solves"] + res1.stats["lp_cold_solves"]
+        solves3 = res3.stats["lp_warm_solves"] + res3.stats["lp_cold_solves"]
+        assert solves3 > solves1
+        assert res3.stats["lp_pivots"] >= res1.stats["lp_pivots"]
 
     def test_phase_multipliers_shift_allocation(self, chip, rng):
         """Online adaptivity: boosting one thread's phase IPC should

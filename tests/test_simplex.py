@@ -121,6 +121,91 @@ class TestKnownProblems:
         assert res.objective == pytest.approx(-ref.fun, rel=1e-8)
 
 
+class TestPhase1ArtificialExclusion:
+    """Departed artificial variables must never re-enter the basis.
+
+    Phase 1 scans only structural + slack columns for entering
+    candidates; admitting a departed artificial wastes pivots on
+    degenerate churn and inflates the pivot/flop counts Fig. 15
+    converts into LP time.
+    """
+
+    def _solve_recording_pivot_cols(self, monkeypatch, c, a, b, upper):
+        from repro.linprog import simplex as mod
+
+        cols = []
+        original = mod._Tableau.pivot
+
+        def recording(self, row, col):
+            cols.append(col)
+            original(self, row, col)
+
+        monkeypatch.setattr(mod._Tableau, "pivot", recording)
+        res = solve_lp_maximize(c, a, b, upper=upper)
+        return res, cols
+
+    def test_no_pivot_on_artificial_columns(self, monkeypatch):
+        # Negative RHS rows -> phase 1 with artificials. n=2 and the
+        # upper bounds append 2 rows, so m=3, n_slack=3: any pivot
+        # column >= n + n_slack = 5 is an artificial re-entering.
+        res, cols = self._solve_recording_pivot_cols(
+            monkeypatch,
+            np.array([-1.0, -2.0]),
+            np.array([[-1.0, -1.0]]),
+            np.array([-2.0]),
+            np.array([5.0, 5.0]))
+        assert res.is_optimal
+        assert cols  # phase 1 actually ran
+        assert all(col < 2 + 3 for col in cols)
+
+    def test_no_artificial_reentry_on_dependent_rows(self, monkeypatch):
+        # Dependent >= rows give phase 1 several artificials and
+        # degenerate pivots — the historic churn scenario.
+        res, cols = self._solve_recording_pivot_cols(
+            monkeypatch,
+            np.array([1.0, 2.0, 0.0]),
+            np.array([[-1.0, -1.0, -1.0],
+                      [-2.0, -2.0, -2.0],
+                      [1.0, 1.0, 1.0]]),
+            np.array([-3.0, -6.0, 3.0]),
+            np.array([10.0, 10.0, 10.0]))
+        assert res.is_optimal
+        n, n_slack = 3, 3 + 3  # 3 rows + 3 appended bound rows
+        assert all(col < n + n_slack for col in cols)
+
+
+class TestFlopAccounting:
+    """The unified work-accounting rules (Fig. 15's time model)."""
+
+    def test_exact_count_single_pivot(self):
+        # max x s.t. x <= 1 (n=1, m=1, no phase 1). One pivot:
+        #   scan (n_cols=2) + ratio (3*m=3) + pivot (2*table.size=12)
+        # then the terminating scan (2) -> 19 flops, 1 iteration.
+        res = solve_lp_maximize(np.array([1.0]),
+                                np.array([[1.0]]),
+                                np.array([1.0]))
+        assert res.is_optimal
+        assert res.iterations == 1
+        assert res.flops == 19
+
+    def test_dantzig_and_bland_charge_identically(self, monkeypatch):
+        """On a problem with a single improving column per iteration,
+        both pricing branches walk the same pivot sequence — so with
+        the unified accounting their flop counts must be *equal*."""
+        from repro.linprog import simplex as mod
+
+        c = np.array([1.0, 0.0, 0.0])
+        a = np.array([[1.0, 1.0, 1.0], [1.0, 2.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        dantzig = solve_lp_maximize(c, a, b)
+        monkeypatch.setattr(mod, "BLAND_THRESHOLD", -1)
+        bland = solve_lp_maximize(c, a, b)
+        assert dantzig.is_optimal and bland.is_optimal
+        assert bland.objective == pytest.approx(dantzig.objective)
+        assert bland.iterations == dantzig.iterations
+        assert bland.flops == dantzig.flops
+
+
 class TestRedundantConstraints:
     """Linearly dependent rows must not corrupt the phase-2 tableau.
 
