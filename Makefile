@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench bench-gate bench-baseline coverage
+.PHONY: test lint chaos daemon bench bench-gate bench-baseline coverage
 
 test:
 	$(PYTHON) -m pytest -x -q -W error::RuntimeWarning
@@ -10,6 +10,11 @@ test:
 # Fault-injection suite under a real worker pool (CI's 'chaos' job).
 chaos:
 	REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q tests/test_chaos.py tests/test_journal.py
+
+# Daemon suite: protocol/isolation/acceptance + chaos (CI's 'daemon'
+# job runs this plus the service benchmark under a hard timeout).
+daemon:
+	$(PYTHON) -m pytest -x -q tests/test_daemon.py tests/test_daemon_chaos.py
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks

@@ -90,8 +90,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
 def _render_chart(name: str, result) -> Optional[str]:
     """Terminal chart for the experiments with a natural one."""
-    from .report import (bar_chart, event_timeline, histogram_chart,
-                         line_chart)
+    from .report import (bar_chart, histogram_chart, line_chart,
+                         resilience_timeline)
     if name == "fig4":
         return "\n\n".join([
             histogram_chart(result.power_ratios, title="Fig 4(a): "
@@ -119,12 +119,14 @@ def _render_chart(name: str, result) -> Optional[str]:
                          for a in result.noise_arms]},
             title="ext-faults: degradation vs sensor noise sigma")
         wd = result.scenario.watchdog
-        timeline = event_timeline(
+        timeline = resilience_timeline(
             DURATION_S,
-            {"faults": wd.fault_times_s,
-             "wd triggers": wd.trigger_times_s},
-            title="ext-faults scenario: fault strikes vs watchdog "
-                  "emergencies")
+            fault_times_s=wd.fault_times_s,
+            trigger_times_s=wd.trigger_times_s,
+            fallback_times_s=wd.fallback_times_s,
+            lp_fallback_times_s=wd.lp_fallback_times_s,
+            title="ext-faults scenario: faults vs watchdog/fallback "
+                  "activity")
         return curves + "\n\n" + timeline
     if name in ("fig11", "fig12", "fig13"):
         some_key = sorted(result.results)[-1]
@@ -196,12 +198,70 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _daemon_main(argv: List[str]) -> int:
+    """The ``repro daemon`` service subcommand."""
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro daemon",
+        description="Serve the power-management stack as a "
+                    "long-running multi-tenant daemon (NDJSON over "
+                    "TCP; see DESIGN.md section 16).")
+    parser.add_argument("action", choices=("serve",))
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7715,
+                        help="TCP port; 0 picks a free one "
+                             "(default 7715)")
+    parser.add_argument("--max-frame-bytes", type=_parse_size,
+                        default=None,
+                        help="per-frame size budget (suffixes K/M/G; "
+                             "default 64K)")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="per-subscriber event queue bound "
+                             "(default 64; overflow drops oldest)")
+    parser.add_argument("--idle-timeout", type=float, default=300.0,
+                        help="reap clients silent this long, seconds "
+                             "(0 disables; default 300)")
+    parser.add_argument("--heartbeat", type=float, default=10.0,
+                        help="heartbeat event period, seconds "
+                             "(0 disables; default 10)")
+    args = parser.parse_args(argv)
+
+    from .daemon import DaemonController, DaemonServer
+
+    async def _serve() -> int:
+        server = DaemonServer(
+            DaemonController(),
+            host=args.host, port=args.port,
+            max_frame_bytes=(args.max_frame_bytes
+                             if args.max_frame_bytes else 64 * 1024),
+            queue_size=args.queue_size,
+            idle_timeout_s=args.idle_timeout or None,
+            heartbeat_interval_s=args.heartbeat or None)
+        host, port = await server.start()
+        print(f"repro daemon listening on {host}:{port}",
+              flush=True)
+        try:
+            await server._stopped.wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "daemon":
+        return _daemon_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():

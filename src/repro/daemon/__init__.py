@@ -1,0 +1,69 @@
+"""Resilient power-management daemon: many chips as one service.
+
+A long-running controller service around the managers/
+:class:`~repro.runtime.OnlineSimulation` stack: clients register
+*tenants* (chip + workload + policy/manager stack), drive them
+incrementally, and receive the actuation stream (V/f levels,
+migrations) as pub/sub events — over a newline-delimited-JSON
+protocol with versioned schema validation, typed errors, per-tenant
+crash quarantine, bounded subscriber queues and drain-then-stop
+shutdown. See DESIGN.md §16.
+"""
+
+from .client import DaemonClient, DaemonError
+from .controller import (
+    ACTIVE,
+    FINISHED,
+    QUARANTINED,
+    CrashingManager,
+    DaemonController,
+    Tenant,
+    TenantConfig,
+    build_config,
+    build_stepper,
+    decision_to_dict,
+)
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    event_frame,
+    reply_frame,
+)
+from .schemas import REQUESTS, validate_request
+from .server import DaemonServer, ServerThread
+from .telemetry import COUNTER_FIELDS, DaemonTelemetry
+
+__all__ = [
+    "ACTIVE",
+    "COUNTER_FIELDS",
+    "CrashingManager",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DaemonClient",
+    "DaemonController",
+    "DaemonError",
+    "DaemonServer",
+    "DaemonTelemetry",
+    "ERROR_CODES",
+    "FINISHED",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUARANTINED",
+    "REQUESTS",
+    "ServerThread",
+    "Tenant",
+    "TenantConfig",
+    "build_config",
+    "build_stepper",
+    "decision_to_dict",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "event_frame",
+    "reply_frame",
+    "validate_request",
+]

@@ -1,0 +1,164 @@
+"""Synchronous NDJSON client for the power-management daemon.
+
+A thin, dependency-free socket client: one TCP connection, blocking
+request/reply with client-side ids, and access to the pub/sub event
+stream on the same connection (events that arrive interleaved with
+replies are buffered and handed out via :meth:`next_event` /
+:meth:`drain_events`). Used by the test-suite, the benchmark and the
+example; production clients in other languages only need to speak the
+frame shapes in :mod:`repro.daemon.protocol`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from .protocol import PROTOCOL_VERSION
+
+
+class DaemonError(RuntimeError):
+    """A typed error reply from the daemon."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class DaemonClient:
+    """Blocking client for one daemon connection."""
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._timeout_s = timeout_s
+        self._buf = b""
+        self._events: List[Dict[str, Any]] = []
+        self._next_id = 0
+
+    # -- Transport -----------------------------------------------------
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def _readline(self) -> bytes:
+        """One newline-terminated frame (b"" on EOF).
+
+        Hand-rolled buffering (not ``makefile``) so a read timeout in
+        :meth:`next_event` leaves the connection usable: partial data
+        stays in the buffer and the next read resumes cleanly.
+        """
+        while b"\n" not in self._buf:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                data, self._buf = self._buf, b""
+                return data
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return line + b"\n"
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def send_raw(self, data: bytes) -> None:
+        """Send raw bytes (chaos tests craft hostile frames here)."""
+        self._sock.sendall(data)
+
+    def read_frame(self) -> Optional[Dict[str, Any]]:
+        """Read one frame off the wire (None on EOF)."""
+        line = self._readline()
+        if not line:
+            return None
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, rtype: str, **payload: Any) -> Dict[str, Any]:
+        """Send one request and block for its reply.
+
+        Event frames arriving before the reply are buffered for
+        :meth:`next_event`. Raises :class:`DaemonError` on a typed
+        error reply and ``ConnectionError`` if the daemon hangs up.
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        frame = {"v": PROTOCOL_VERSION, "type": rtype, "id": req_id}
+        frame.update(payload)
+        self.send_raw((json.dumps(frame, separators=(",", ":"))
+                       + "\n").encode("utf-8"))
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ConnectionError(
+                    "daemon closed the connection mid-request")
+            if reply.get("type") == "event":
+                self._events.append(reply)
+                continue
+            if reply.get("id") != req_id:
+                continue  # stale reply from an abandoned request
+            if reply.get("ok"):
+                return reply["result"]
+            err = reply.get("error") or {}
+            raise DaemonError(err.get("code", "internal"),
+                              err.get("message", "unknown error"))
+
+    # -- Events --------------------------------------------------------
+
+    def next_event(self,
+                   timeout_s: Optional[float] = None,
+                   ) -> Optional[Dict[str, Any]]:
+        """Next buffered or on-wire event frame (None on timeout)."""
+        if self._events:
+            return self._events.pop(0)
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s)
+        try:
+            while True:
+                frame = self.read_frame()
+                if frame is None:
+                    return None
+                if frame.get("type") == "event":
+                    return frame
+        except socket.timeout:
+            return None
+        finally:
+            self._sock.settimeout(self._timeout_s)
+
+    def drain_events(self, timeout_s: float = 0.2,
+                     ) -> List[Dict[str, Any]]:
+        """Collect events until the wire stays quiet for
+        ``timeout_s``."""
+        events: List[Dict[str, Any]] = []
+        while True:
+            event = self.next_event(timeout_s=timeout_s)
+            if event is None:
+                return events
+            events.append(event)
+
+    # -- Convenience verbs ---------------------------------------------
+
+    def register(self, tenant: str, **config: Any) -> Dict[str, Any]:
+        return self.request("register", tenant=tenant, **config)
+
+    def advance(self, tenant: str,
+                until_s: Optional[float] = None,
+                to_end: bool = False) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"tenant": tenant}
+        if to_end:
+            payload["to_end"] = True
+        else:
+            payload["until_s"] = until_s
+        return self.request("advance", **payload)
+
+    def subscribe(self, tenant: str = "*") -> Dict[str, Any]:
+        return self.request("subscribe", tenant=tenant)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def telemetry(self) -> Dict[str, Any]:
+        return self.request("telemetry")

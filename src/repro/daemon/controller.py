@@ -1,0 +1,506 @@
+"""Tenant lifecycle and decision logic of the daemon (transport-free).
+
+The controller is the synchronous heart of the service: it owns every
+registered *tenant* — one chip (tech/arch/seed), one workload, one
+policy/manager stack, driven incrementally through a
+:class:`~repro.runtime.SimulationStepper` — and exposes the request
+verbs the server maps protocol frames onto. Keeping it free of any
+asyncio lets the whole robustness surface (registration, advancement,
+quarantine, telemetry) be tested directly, and lets the server run
+controller calls on executor threads without ceremony.
+
+Isolation model: tenants share nothing mutable. Characterised chips
+are cached per ``(n_cores, seed)`` and shared read-only; every
+manager, sensor bank, watchdog and stepper is per-tenant. A tenant
+whose manager stack raises is *quarantined* — its state is frozen,
+every later request for it gets a typed ``quarantined`` error, and no
+other tenant observes anything. Per-tenant determinism is structural:
+``run(mode="event")`` and daemon-driven advancement execute the same
+:class:`SimulationStepper` code path, so a tenant's decision stream is
+bitwise-identical to a direct run no matter how advances interleave
+across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import (
+    COST_PERFORMANCE,
+    HIGH_PERFORMANCE,
+    LOW_POWER,
+    ArchConfig,
+    PowerEnvironment,
+    TechParams,
+)
+from ..experiments.common import ChipFactory
+from ..faults import (
+    FaultEvent,
+    FaultSchedule,
+    ManagerFault,
+    PowerWatchdog,
+    ResilientManager,
+    SensorBank,
+)
+from ..pm import FoxtonStar, LinOpt, LinOptConfig, PmResult, PowerManager
+from ..power import SensorSpec
+from ..report import resilience_timeline
+from ..runtime import (
+    DECISION_EMERGENCY,
+    DECISION_MANAGER,
+    ManagerDecision,
+    OnlineSimulation,
+    SimulationStepper,
+)
+from ..sched import POLICIES
+from ..workloads import make_workload
+from .protocol import (
+    ERR_DUPLICATE_TENANT,
+    ERR_INVALID,
+    ERR_QUARANTINED,
+    ERR_UNKNOWN_TENANT,
+    ProtocolError,
+)
+from .telemetry import DaemonTelemetry
+
+#: Tenant lifecycle states.
+ACTIVE = "active"
+FINISHED = "finished"
+QUARANTINED = "quarantined"
+
+#: Watchdog tuning (matches the ext-faults experiment).
+GUARD_BAND_FRAC = 0.01
+K_SAMPLES = 3
+
+_ENVS = {
+    "low_power": LOW_POWER,
+    "cost_performance": COST_PERFORMANCE,
+    "high_performance": HIGH_PERFORMANCE,
+}
+
+
+class CrashingManager(PowerManager):
+    """Chaos-testing manager: healthy for N-1 calls, then raises.
+
+    Registered via ``manager: {"primary": "crashing", "crash_after":
+    N}``. With ``resilient: true`` the crash is absorbed by the
+    fallback chain (a tier escalation); with ``resilient: false`` it
+    propagates and quarantines the tenant — the blast-radius case the
+    chaos tests pin.
+    """
+
+    name = "Crashing"
+
+    def __init__(self, inner: Optional[PowerManager] = None,
+                 crash_after: int = 1) -> None:
+        if crash_after < 1:
+            raise ValueError("crash_after must be positive")
+        self.inner = inner if inner is not None else FoxtonStar()
+        self.crash_after = crash_after
+        self.calls = 0
+
+    def set_levels(self, chip, workload, assignment, env,
+                   **kwargs) -> PmResult:
+        self.calls += 1
+        if self.calls >= self.crash_after:
+            raise ManagerFault(
+                f"scripted crash on invocation {self.calls}")
+        return self.inner.set_levels(chip, workload, assignment, env,
+                                     **kwargs)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """A tenant's registration, resolved to concrete values."""
+
+    name: str
+    seed: int
+    n_cores: int
+    n_threads: int
+    env: PowerEnvironment
+    policy: str
+    duration_s: float
+    dvfs_interval_s: float
+    noise_sigma: float
+    watchdog: bool
+    faults: Tuple[FaultEvent, ...] = ()
+    manager: Dict[str, Any] = field(default_factory=dict)
+
+
+def decision_to_dict(decision: ManagerDecision) -> Dict[str, Any]:
+    """JSON-ready form of one actuation decision."""
+    return {
+        "time_s": decision.time_s,
+        "kind": decision.kind,
+        "levels": list(decision.levels),
+        "core_of": list(decision.core_of),
+        "migrated": list(decision.migrated),
+        "resilience_tier": decision.resilience_tier,
+        "lp_fallbacks": decision.lp_fallbacks,
+        "evaluations": decision.evaluations,
+    }
+
+
+def build_config(payload: Dict[str, Any]) -> TenantConfig:
+    """Resolve a validated ``register`` payload to a TenantConfig."""
+    n_cores = payload["n_cores"]
+    n_threads = payload["n_threads"] or n_cores
+    if n_threads > n_cores:
+        raise ProtocolError(
+            ERR_INVALID,
+            f"n_threads ({n_threads}) cannot exceed n_cores "
+            f"({n_cores})")
+    env = payload["env"]
+    if isinstance(env, str):
+        env = _ENVS[env]
+    else:
+        env = PowerEnvironment(
+            "custom", float(env["p_target_full"]),
+            p_core_max=float(env.get("p_core_max", 8.0)))
+    raw = payload["faults"] or ()
+    try:
+        faults = tuple(FaultEvent(float(e["time_s"]), e["kind"],
+                                  target=int(e.get("target", -1)),
+                                  param=float(e.get("param", 0.0)))
+                       for e in raw)
+    except ValueError as exc:
+        raise ProtocolError(ERR_INVALID, f"bad fault event: {exc}")
+    return TenantConfig(
+        name=payload["tenant"],
+        seed=payload["seed"],
+        n_cores=n_cores,
+        n_threads=n_threads,
+        env=env,
+        policy=payload["policy"],
+        duration_s=float(payload["duration_s"]),
+        dvfs_interval_s=float(payload["dvfs_interval_s"]),
+        noise_sigma=float(payload["noise_sigma"]),
+        watchdog=payload["watchdog"],
+        faults=faults,
+        manager=dict(payload["manager"] or {}),
+    )
+
+
+def build_stepper(config: TenantConfig, chip) -> SimulationStepper:
+    """Assemble one tenant's manager stack and stepper.
+
+    Mirrors the ext-faults experiment wiring: when a sensor bank
+    exists it is both LinOpt's profiling sensor and the watchdog's
+    measurement path, so sensor faults corrupt both consistently.
+    """
+    mgr = config.manager
+    needs_bank = (config.noise_sigma > 0 or config.watchdog
+                  or any(e.kind.startswith("sensor")
+                         for e in config.faults))
+    bank = None
+    if needs_bank:
+        bank = SensorBank(
+            chip.n_cores,
+            spec=SensorSpec(noise_sigma=config.noise_sigma,
+                            relative=True),
+            seed=config.seed + 42)
+    primary_kind = mgr.get("primary", "linopt")
+    if primary_kind == "linopt":
+        primary: PowerManager = LinOpt(
+            LinOptConfig(n_iterations=mgr.get("n_iterations") or 3),
+            power_sensor=bank)
+    elif primary_kind == "foxton":
+        primary = FoxtonStar()
+    else:
+        primary = CrashingManager(
+            crash_after=mgr.get("crash_after") or 1)
+    if mgr.get("resilient", True):
+        manager: PowerManager = ResilientManager(
+            primary=primary, fallback=FoxtonStar(),
+            evaluation_budget=mgr.get("evaluation_budget"),
+            deadline_s=mgr.get("deadline_s"),
+            accept_infeasible_floor=mgr.get("accept_infeasible_floor",
+                                            True))
+    else:
+        manager = primary
+    watchdog = (PowerWatchdog(guard_band_frac=GUARD_BAND_FRAC,
+                              k_samples=K_SAMPLES)
+                if config.watchdog else None)
+    workload = make_workload(config.n_threads,
+                             np.random.default_rng([config.seed, 31]))
+    assignment = POLICIES[config.policy].assign_with_profiling(
+        chip, workload, np.random.default_rng([config.seed, 37]))
+    sim = OnlineSimulation(
+        chip, workload, assignment, config.env, manager=manager,
+        phase_seed=config.seed,
+        faults=FaultSchedule(config.faults) if config.faults else None,
+        sensor_bank=bank, watchdog=watchdog)
+    return sim.stepper(config.duration_s, config.dvfs_interval_s)
+
+
+class Tenant:
+    """One hosted chip: a stepper plus lifecycle/quarantine state.
+
+    ``lock`` serialises advancement of *this* tenant only; different
+    tenants advance concurrently on different executor threads.
+    """
+
+    def __init__(self, config: TenantConfig,
+                 stepper: SimulationStepper) -> None:
+        self.config = config
+        self.stepper = stepper
+        self.lock = threading.Lock()
+        self.status = ACTIVE
+        self.quarantine_reason: Optional[str] = None
+        self.last_tier = 0
+
+    def require_usable(self) -> None:
+        if self.status == QUARANTINED:
+            raise ProtocolError(
+                ERR_QUARANTINED,
+                f"tenant {self.config.name!r} is quarantined: "
+                f"{self.quarantine_reason}")
+
+    def advance(self, until_s: Optional[float],
+                to_end: bool) -> List[ManagerDecision]:
+        """Advance the tenant's simulation, quarantining on crash."""
+        self.require_usable()
+        with self.lock:
+            try:
+                if to_end:
+                    decisions = self.stepper.run_to_end()
+                else:
+                    decisions = self.stepper.advance_until(
+                        float(until_s))
+            except Exception as exc:
+                self.status = QUARANTINED
+                self.quarantine_reason = (
+                    f"{type(exc).__name__}: {exc}")
+                raise
+            if decisions:
+                self.last_tier = decisions[-1].resilience_tier
+            if self.stepper.finished:
+                self.status = FINISHED
+            return decisions
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.config.name,
+            "status": self.status,
+            "time_s": self.stepper.time_s,
+            "duration_s": self.config.duration_s,
+            "finished": self.stepper.finished,
+            "decisions": len(self.stepper.decisions),
+            "resilience_tier": self.last_tier,
+            "quarantine_reason": self.quarantine_reason,
+            "n_cores": self.config.n_cores,
+            "n_threads": self.config.n_threads,
+            "seed": self.config.seed,
+        }
+
+    def timeline(self, width: int = 60) -> str:
+        """The tenant's degradation timeline — rendered by the same
+        :func:`repro.report.resilience_timeline` the ext-faults CLI
+        chart uses, so both surfaces stay identical."""
+        decisions = self.stepper.decisions
+        return resilience_timeline(
+            self.config.duration_s,
+            fault_times_s=[e.time_s
+                           for e in self.stepper.applied_faults],
+            trigger_times_s=[d.time_s for d in decisions
+                             if d.kind == DECISION_EMERGENCY],
+            fallback_times_s=[d.time_s for d in decisions
+                              if d.kind == DECISION_MANAGER
+                              and d.resilience_tier > 0],
+            lp_fallback_times_s=[d.time_s for d in decisions
+                                 if d.lp_fallbacks > 0],
+            title=f"tenant {self.config.name}: resilience timeline",
+            width=width)
+
+    def trace_summary(self) -> Dict[str, Any]:
+        """Summary statistics of the finished run."""
+        if not self.stepper.finished:
+            raise ProtocolError(
+                ERR_INVALID,
+                f"tenant {self.config.name!r} has not finished "
+                f"(at t={self.stepper.time_s:.6f}s)")
+        trace = self.stepper.trace()
+        return {
+            "tenant": self.config.name,
+            "deviation_pct": trace.mean_abs_deviation_pct,
+            "overshoot_fraction": trace.overshoot_fraction,
+            "throughput_mips": trace.mean_throughput_mips,
+            "migrations": trace.migrations,
+            "level_transitions": trace.level_transitions,
+            "fallback_activations": trace.fallback_activations,
+            "lp_fallbacks": trace.lp_fallbacks,
+            "tier_transitions": [[t, tier] for t, tier
+                                 in trace.tier_transitions],
+            "watchdog_triggers": len(trace.watchdog_triggers),
+            "faults_applied": len(trace.fault_events),
+            "decisions": len(self.stepper.decisions),
+        }
+
+
+class DaemonController:
+    """Registry of tenants plus the request verbs the server exposes.
+
+    Args:
+        telemetry: Shared counter sink (one is created if omitted).
+        tech: Process technology for every hosted chip.
+        workers: Worker processes for chip characterisation (the
+            daemon defaults to 1 — characterisation of daemon-sized
+            chips is cheap and nested pools are not worth it).
+        cache: Characterisation cache policy (``"auto"`` honours
+            ``REPRO_NO_CACHE`` exactly like the experiment layer).
+    """
+
+    def __init__(self, telemetry: Optional[DaemonTelemetry] = None,
+                 tech: Optional[TechParams] = None,
+                 workers: int = 1, cache: Any = "auto") -> None:
+        self.telemetry = (telemetry if telemetry is not None
+                          else DaemonTelemetry())
+        self.tech = tech if tech is not None else TechParams()
+        self.workers = workers
+        self.cache = cache
+        self._lock = threading.RLock()
+        self._tenants: Dict[str, Tenant] = {}
+        self._factories: Dict[Tuple[int, int], ChipFactory] = {}
+
+    # -- Registry ------------------------------------------------------
+
+    def _factory(self, n_cores: int, seed: int) -> ChipFactory:
+        key = (n_cores, seed)
+        factory = self._factories.get(key)
+        if factory is None:
+            # 35 mm^2/core keeps the leakage-temperature loop gain
+            # below unity even on 2-core dies (smaller dies have too
+            # little heat-spreading area and run away at top V/f).
+            arch = ArchConfig(
+                n_cores=n_cores,
+                die_area_mm2=35.0 * n_cores,
+                grid_resolution=max(8, min(32, 2 * n_cores)))
+            factory = ChipFactory(tech=self.tech, arch=arch,
+                                  seed=seed, workers=self.workers,
+                                  cache=self.cache)
+            self._factories[key] = factory
+        return factory
+
+    def _get(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise ProtocolError(ERR_UNKNOWN_TENANT,
+                                f"no tenant {name!r}")
+        return tenant
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    # -- Request verbs -------------------------------------------------
+
+    def register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Create a tenant; the expensive chip build happens outside
+        the registry lock so registrations don't serialise on it."""
+        config = build_config(payload)
+        with self._lock:
+            if config.name in self._tenants:
+                raise ProtocolError(
+                    ERR_DUPLICATE_TENANT,
+                    f"tenant {config.name!r} already registered")
+            factory = self._factory(config.n_cores, config.seed)
+        chip = factory.chip(0)
+        stepper = build_stepper(config, chip)
+        tenant = Tenant(config, stepper)
+        with self._lock:
+            if config.name in self._tenants:
+                raise ProtocolError(
+                    ERR_DUPLICATE_TENANT,
+                    f"tenant {config.name!r} already registered")
+            self._tenants[config.name] = tenant
+        self.telemetry.incr("tenants_registered")
+        return tenant.info()
+
+    def advance(self, name: str, until_s: Optional[float] = None,
+                to_end: bool = False) -> Dict[str, Any]:
+        """Advance one tenant; records decision/tier telemetry."""
+        tenant = self._get(name)
+        try:
+            decisions = tenant.advance(until_s, to_end)
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            self.telemetry.incr("quarantines")
+            raise ProtocolError(
+                ERR_QUARANTINED,
+                f"tenant {name!r} crashed and was quarantined: "
+                f"{type(exc).__name__}: {exc}") from exc
+        tele = self.telemetry
+        tele.incr("advances")
+        if decisions:
+            tele.incr("decisions", len(decisions))
+            emergencies = sum(d.kind == DECISION_EMERGENCY
+                              for d in decisions)
+            if emergencies:
+                tele.incr("emergency_decisions", emergencies)
+            tier1 = sum(d.kind == DECISION_MANAGER
+                        and d.resilience_tier == 1 for d in decisions)
+            tier2 = sum(d.kind == DECISION_MANAGER
+                        and d.resilience_tier == 2 for d in decisions)
+            if tier1:
+                tele.incr("tier1_decisions", tier1)
+            if tier2:
+                tele.incr("tier2_decisions", tier2)
+            lp = sum(d.lp_fallbacks for d in decisions)
+            if lp:
+                tele.incr("lp_fallbacks", lp)
+        if tenant.status == FINISHED:
+            tele.incr("tenants_finished")
+        return {
+            "tenant": name,
+            "time_s": tenant.stepper.time_s,
+            "finished": tenant.stepper.finished,
+            "decisions": [decision_to_dict(d) for d in decisions],
+        }
+
+    def inject(self, name: str, kind: str) -> Dict[str, Any]:
+        """Arm a one-shot manager fault on a resilient tenant."""
+        tenant = self._get(name)
+        tenant.require_usable()
+        manager = tenant.stepper.sim.manager
+        if not isinstance(manager, ResilientManager):
+            raise ProtocolError(
+                ERR_INVALID,
+                f"tenant {name!r} has no resilient manager to "
+                f"inject into")
+        manager.inject_failure(kind)
+        return {"tenant": name, "armed": kind}
+
+    def tenant_info(self, name: str) -> Dict[str, Any]:
+        return self._get(name).info()
+
+    def timeline(self, name: str, width: int = 60) -> Dict[str, Any]:
+        return {"tenant": name,
+                "timeline": self._get(name).timeline(width)}
+
+    def trace(self, name: str) -> Dict[str, Any]:
+        return self._get(name).trace_summary()
+
+    def unregister(self, name: str) -> Dict[str, Any]:
+        with self._lock:
+            tenant = self._tenants.pop(name, None)
+        if tenant is None:
+            raise ProtocolError(ERR_UNKNOWN_TENANT,
+                                f"no tenant {name!r}")
+        self.telemetry.incr("tenants_unregistered")
+        return {"tenant": name, "status": tenant.status}
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        snap = self.telemetry.snapshot()
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for tenant in self._tenants.values():
+                by_status[tenant.status] = (
+                    by_status.get(tenant.status, 0) + 1)
+        snap["tenants"] = by_status
+        return snap

@@ -1,0 +1,150 @@
+"""Wire protocol of the power-management daemon.
+
+Newline-delimited JSON (NDJSON): every frame is one JSON object on one
+line, UTF-8 encoded, terminated by ``\\n``. Requests carry a protocol
+version (``v``), a frame ``type`` and an optional client-chosen ``id``
+that is echoed on the reply, so a client may pipeline requests.
+
+The decoder is the daemon's first robustness boundary: malformed,
+oversized and unknown-version frames are converted into *typed error
+replies* (:class:`ProtocolError`) rather than exceptions that could
+kill the connection loop. The one exception is a frame so large it
+overruns the transport's hard limit (:func:`hard_limit`) — the stream
+is no longer frame-aligned at that point, so the connection must be
+dropped after the error reply.
+
+Frame shapes::
+
+    request:  {"v": 1, "type": "<name>", "id": <any>, ...payload}
+    reply:    {"v": 1, "type": "reply", "id": ..., "ok": true,
+               "result": {...}}
+    error:    {"v": 1, "type": "error", "id": ...,
+               "error": {"code": "<code>", "message": "..."}}
+    event:    {"v": 1, "type": "event", "tenant": "...",
+               "event": "<name>", "data": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol version spoken by this build. Version bumps are breaking;
+#: a daemon replies ``unknown_version`` to anything else.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame size budget (bytes, including the newline).
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024
+
+# -- Typed error codes -------------------------------------------------
+#: Frame was not a JSON object / not valid UTF-8 / missing ``type``.
+ERR_MALFORMED = "malformed"
+#: Frame exceeded the size budget (connection survives unless the
+#: transport's hard limit was overrun).
+ERR_OVERSIZED = "oversized"
+#: Frame carried a ``v`` other than :data:`PROTOCOL_VERSION`.
+ERR_UNKNOWN_VERSION = "unknown_version"
+#: Frame type is not part of the protocol.
+ERR_UNKNOWN_TYPE = "unknown_type"
+#: Frame type is known but the payload failed schema validation.
+ERR_INVALID = "invalid"
+#: Request names a tenant this daemon does not host.
+ERR_UNKNOWN_TENANT = "unknown_tenant"
+#: Tenant name already registered.
+ERR_DUPLICATE_TENANT = "duplicate_tenant"
+#: Tenant crashed and was isolated; only ``unregister`` is accepted.
+ERR_QUARANTINED = "quarantined"
+#: Daemon is draining: no new tenants are accepted.
+ERR_DRAINING = "draining"
+#: Unexpected server-side failure (the request's fault domain only).
+ERR_INTERNAL = "internal"
+
+ERROR_CODES = (
+    ERR_MALFORMED, ERR_OVERSIZED, ERR_UNKNOWN_VERSION, ERR_UNKNOWN_TYPE,
+    ERR_INVALID, ERR_UNKNOWN_TENANT, ERR_DUPLICATE_TENANT,
+    ERR_QUARANTINED, ERR_DRAINING, ERR_INTERNAL,
+)
+
+
+class ProtocolError(Exception):
+    """A request failure with a typed, client-visible error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def hard_limit(max_frame_bytes: int) -> int:
+    """Transport read limit above which a connection is unrecoverable.
+
+    Kept well above ``max_frame_bytes`` so that a merely-oversized
+    frame can still be read to its newline, answered with a typed
+    ``oversized`` error, and skipped — the connection survives. Only
+    a frame that overruns *this* limit desynchronises the stream and
+    forces a disconnect.
+    """
+    return max(8 * max_frame_bytes, 1 << 16)
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialise one frame (compact JSON + newline)."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 ) -> Dict[str, Any]:
+    """Parse and envelope-check one received line.
+
+    Raises:
+        ProtocolError: With ``oversized``, ``malformed`` or
+            ``unknown_version`` — never a bare json/unicode error.
+    """
+    if len(line) > max_frame_bytes:
+        raise ProtocolError(
+            ERR_OVERSIZED,
+            f"frame of {len(line)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(ERR_MALFORMED,
+                            f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(ERR_MALFORMED, "frame must be a JSON object")
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_UNKNOWN_VERSION,
+            f"protocol version {version!r} is not supported "
+            f"(this daemon speaks v{PROTOCOL_VERSION})")
+    if not isinstance(obj.get("type"), str):
+        raise ProtocolError(ERR_MALFORMED,
+                            "frame must carry a string 'type'")
+    return obj
+
+
+def reply_frame(req_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """A successful reply echoing the request id."""
+    return {"v": PROTOCOL_VERSION, "type": "reply", "id": req_id,
+            "ok": True, "result": result}
+
+
+def error_frame(req_id: Any, code: str,
+                message: str) -> Dict[str, Any]:
+    """A typed error reply echoing the request id (``None`` if the
+    request never parsed far enough to have one)."""
+    return {"v": PROTOCOL_VERSION, "type": "error", "id": req_id,
+            "ok": False, "error": {"code": code, "message": message}}
+
+
+def event_frame(tenant: Optional[str], event: str,
+                data: Dict[str, Any]) -> Dict[str, Any]:
+    """A pub/sub event frame (``tenant`` is ``None`` for daemon-scope
+    events such as heartbeats)."""
+    return {"v": PROTOCOL_VERSION, "type": "event", "tenant": tenant,
+            "event": event, "data": data}

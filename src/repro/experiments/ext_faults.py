@@ -101,6 +101,8 @@ class ArmSummary:
     faults_applied: int
     trigger_times_s: Tuple[float, ...] = ()
     fault_times_s: Tuple[float, ...] = ()
+    fallback_times_s: Tuple[float, ...] = ()
+    lp_fallback_times_s: Tuple[float, ...] = ()
 
     @classmethod
     def from_trace(cls, name: str, trace: SimulationTrace,
@@ -119,6 +121,8 @@ class ArmSummary:
             faults_applied=len(trace.fault_events),
             trigger_times_s=tuple(trace.watchdog_triggers),
             fault_times_s=tuple(e.time_s for e in trace.fault_events),
+            fallback_times_s=tuple(trace.fallback_times_s),
+            lp_fallback_times_s=tuple(trace.lp_fallback_times_s),
         )
 
 

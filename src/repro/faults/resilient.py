@@ -19,7 +19,8 @@ overrun its deadline), exercising the same chain.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -45,10 +46,21 @@ class ResilientManager(PowerManager):
             may spend per invocation; exceeding it counts as a missed
             deadline and discards the primary's answer. ``None``
             disables the budget.
+        deadline_s: Wall-clock budget for the primary's invocation
+            (the supervision hook long-running services use: the
+            power-management daemon arms it per tenant). A primary
+            that answers but took longer is treated exactly like a
+            blown evaluation budget — the answer is discarded and the
+            chain falls to the next tier. ``None`` disables the
+            deadline. Note this makes tier selection wall-clock
+            dependent; deterministic tests should prefer
+            ``evaluation_budget``.
         accept_infeasible_floor: An all-floor result (every level 0)
             is accepted from the primary even if still infeasible —
             there is nothing further down the chain could do about a
             budget below the chip's minimum operating point.
+        clock: Monotonic time source for the deadline (injectable for
+            deterministic tests; defaults to :func:`time.monotonic`).
 
     The wrapper is itself a :class:`PowerManager`, so it drops into
     :class:`~repro.runtime.OnlineSimulation` unchanged.
@@ -59,12 +71,18 @@ class ResilientManager(PowerManager):
     def __init__(self, primary: Optional[PowerManager] = None,
                  fallback: Optional[PowerManager] = None,
                  evaluation_budget: Optional[int] = None,
-                 accept_infeasible_floor: bool = True) -> None:
+                 deadline_s: Optional[float] = None,
+                 accept_infeasible_floor: bool = True,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         if evaluation_budget is not None and evaluation_budget < 1:
             raise ValueError("evaluation budget must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline must be positive")
         self.primary = primary if primary is not None else LinOpt()
         self.fallback = fallback if fallback is not None else FoxtonStar()
         self.evaluation_budget = evaluation_budget
+        self.deadline_s = deadline_s
+        self.clock = clock if clock is not None else time.monotonic
         self.accept_infeasible_floor = accept_infeasible_floor
         self.name = f"Resilient({self.primary.name})"
         #: Cumulative count of invocations decided below tier 0.
@@ -125,8 +143,11 @@ class ResilientManager(PowerManager):
         try:
             if injected == MANAGER_ERROR:
                 raise ManagerFault("injected manager failure")
+            t0 = self.clock() if self.deadline_s is not None else 0.0
             result = self.primary.set_levels(chip, workload, assignment,
                                              env, **kwargs)
+            wall_s = (self.clock() - t0
+                      if self.deadline_s is not None else 0.0)
             evaluations += result.evaluations
             # LP-level fallbacks are counted even when the tier-0
             # answer is later discarded: the solver still degraded.
@@ -134,7 +155,9 @@ class ResilientManager(PowerManager):
                 result.stats.get("lp_fallbacks", 0.0))
             if injected == MANAGER_DEADLINE or (
                     self.evaluation_budget is not None
-                    and result.evaluations > self.evaluation_budget):
+                    and result.evaluations > self.evaluation_budget
+            ) or (self.deadline_s is not None
+                  and wall_s > self.deadline_s):
                 deadline_missed = 1.0
                 result = None
             elif not self._acceptable(result, p_target, p_core_max):

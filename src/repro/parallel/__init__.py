@@ -43,8 +43,12 @@ from .runner import (
 )
 from .sharding import (
     available_workers,
+    resolve_shard_backoff,
+    resolve_shard_retries,
     resolve_shard_timeout,
     run_sharded,
+    set_shard_backoff,
+    set_shard_retries,
     shard_indices,
     spawn_seeds,
 )
@@ -72,6 +76,8 @@ __all__ = [
     "profile_from_payload",
     "profile_payload",
     "reset_run_health",
+    "resolve_shard_backoff",
+    "resolve_shard_retries",
     "resolve_shard_timeout",
     "resolve_workers",
     "resume_enabled",
@@ -81,6 +87,8 @@ __all__ = [
     "set_default_workers",
     "set_journal_root",
     "set_resume",
+    "set_shard_backoff",
+    "set_shard_retries",
     "shard_indices",
     "spawn_seeds",
     "unit_key",

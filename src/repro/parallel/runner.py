@@ -32,6 +32,7 @@ from ..thermal import ThermalNetwork
 from ..variation import DieBatch
 from . import cache as _cache_mod
 from . import journal as _journal_mod
+from . import sharding as _sharding_mod
 from .cache import (
     CharacterizationCache,
     Payload,
@@ -79,13 +80,22 @@ def parallel_config(workers: Optional[int] = None,
                     cache_enabled: Optional[bool] = None,
                     cache_root=None,
                     resume: Optional[bool] = None,
-                    journal_root=None):
+                    journal_root=None,
+                    shard_retries: Optional[int] = None,
+                    shard_backoff_s: Optional[float] = None):
     """Temporarily override the process-wide parallel/cache defaults.
 
     Used by the CLI (for the lifetime of a run) and by benchmarks and
     tests that compare serial, sharded, cold and warm configurations.
     ``resume``/``journal_root`` control campaign journaling (the CLI's
     ``--resume``/``--fresh`` flags; see :mod:`repro.parallel.journal`).
+    ``shard_retries``/``shard_backoff_s`` tune the fault-tolerant
+    pool's retry budget and backoff base (the knobs
+    :func:`~repro.parallel.sharding.run_sharded` resolves when not
+    given explicitly; env: ``REPRO_SHARD_RETRIES`` /
+    ``REPRO_SHARD_BACKOFF_S``). Neither changes *which* results come
+    back — recovery merges bitwise-identically — only how patient the
+    coordinator is before narrowing a shard.
 
     Every override is restored through its setter — never by poking
     the module globals — so any invariant a setter maintains (now or
@@ -96,6 +106,8 @@ def parallel_config(workers: Optional[int] = None,
     prev_root = _cache_mod._cache_root_override
     prev_resume = _journal_mod._resume_override
     prev_journal_root = _journal_mod._journal_root_override
+    prev_retries = _sharding_mod._shard_retries_override
+    prev_backoff = _sharding_mod._shard_backoff_override
     try:
         if workers is not None:
             set_default_workers(workers)
@@ -107,6 +119,10 @@ def parallel_config(workers: Optional[int] = None,
             _journal_mod.set_resume(resume)
         if journal_root is not None:
             _journal_mod.set_journal_root(journal_root)
+        if shard_retries is not None:
+            _sharding_mod.set_shard_retries(shard_retries)
+        if shard_backoff_s is not None:
+            _sharding_mod.set_shard_backoff(shard_backoff_s)
         yield
     finally:
         set_default_workers(prev_workers)
@@ -114,6 +130,8 @@ def parallel_config(workers: Optional[int] = None,
         _cache_mod.set_cache_root(prev_root)
         _journal_mod.set_resume(prev_resume)
         _journal_mod.set_journal_root(prev_journal_root)
+        _sharding_mod.set_shard_retries(prev_retries)
+        _sharding_mod.set_shard_backoff(prev_backoff)
 
 
 def _resolve_cache(cache: CacheArg) -> Optional[CharacterizationCache]:

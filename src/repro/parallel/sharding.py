@@ -59,6 +59,73 @@ DEFAULT_BACKOFF_S = 0.05
 # Poll interval while waiting on pool futures when a timeout is set.
 _POLL_S = 0.05
 
+# Process-wide overrides for the retry knobs, set through
+# parallel_config (restored via the setters, like every other
+# override there). None defers to the environment, then the default.
+_shard_retries_override: Optional[int] = None
+_shard_backoff_override: Optional[float] = None
+
+
+def set_shard_retries(retries: Optional[int]) -> None:
+    """Set the process-wide retry budget (``None`` restores env/2)."""
+    global _shard_retries_override
+    if retries is None:
+        _shard_retries_override = None
+    else:
+        _shard_retries_override = max(0, int(retries))
+
+
+def set_shard_backoff(backoff_s: Optional[float]) -> None:
+    """Set the process-wide backoff base (``None`` restores env/.05)."""
+    global _shard_backoff_override
+    if backoff_s is None:
+        _shard_backoff_override = None
+    else:
+        _shard_backoff_override = max(0.0, float(backoff_s))
+
+
+def resolve_shard_retries(retries: Optional[int] = None) -> int:
+    """Effective per-shard retry budget before narrowing.
+
+    Priority: the explicit argument, :func:`set_shard_retries` (the
+    ``parallel_config`` override), the ``REPRO_SHARD_RETRIES``
+    environment variable, then :data:`DEFAULT_MAX_SHARD_RETRIES`.
+    Unparsable env values fall through to the default; values clamp
+    at 0 (fail straight to narrowing/serial fallback).
+    """
+    if retries is not None:
+        return max(0, int(retries))
+    if _shard_retries_override is not None:
+        return _shard_retries_override
+    env = os.environ.get("REPRO_SHARD_RETRIES", "")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_SHARD_RETRIES
+
+
+def resolve_shard_backoff(backoff_s: Optional[float] = None) -> float:
+    """Effective backoff base (s) between retries of one shard.
+
+    Priority: the explicit argument, :func:`set_shard_backoff` (the
+    ``parallel_config`` override), the ``REPRO_SHARD_BACKOFF_S``
+    environment variable, then :data:`DEFAULT_BACKOFF_S`. ``0``
+    disables sleeping; negative values clamp to 0.
+    """
+    if backoff_s is not None:
+        return max(0.0, float(backoff_s))
+    if _shard_backoff_override is not None:
+        return _shard_backoff_override
+    env = os.environ.get("REPRO_SHARD_BACKOFF_S", "")
+    if env:
+        try:
+            return max(0.0, float(env))
+        except ValueError:
+            pass
+    return DEFAULT_BACKOFF_S
+
 
 def shard_indices(n_items: int, n_shards: int) -> List[np.ndarray]:
     """Split ``range(n_items)`` into at most ``n_shards`` shards.
@@ -147,8 +214,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def run_sharded(fn: ShardFn, items: Sequence[T], workers: int = 1, *,
                 timeout_s: Optional[float] = None,
-                max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
-                backoff_s: float = DEFAULT_BACKOFF_S,
+                max_shard_retries: Optional[int] = None,
+                backoff_s: Optional[float] = None,
                 health: Optional[RunHealth] = None) -> List[R]:
     """Map a shard function over ``items``, merging in stable order.
 
@@ -178,9 +245,15 @@ def run_sharded(fn: ShardFn, items: Sequence[T], workers: int = 1, *,
             before the shard is *narrowed* (split in half, each half
             with a fresh retry budget) — bisecting down to the single
             poisoned item, which then falls back to an in-process run.
+            ``None`` resolves via :func:`resolve_shard_retries`
+            (``parallel_config`` override, then ``REPRO_SHARD_RETRIES``,
+            default 2).
         backoff_s: Base of the jitterless exponential backoff slept
             before a retry (attempt ``k`` sleeps
             ``backoff_s * 2**(k-1)``). ``0`` disables sleeping.
+            ``None`` resolves via :func:`resolve_shard_backoff`
+            (``parallel_config`` override, then
+            ``REPRO_SHARD_BACKOFF_S``, default 0.05 s).
         health: :class:`RunHealth` to record recovery actions into
             (a throwaway one is used when omitted).
 
@@ -200,6 +273,8 @@ def run_sharded(fn: ShardFn, items: Sequence[T], workers: int = 1, *,
         return []
     if health is None:
         health = RunHealth()
+    max_shard_retries = resolve_shard_retries(max_shard_retries)
+    backoff_s = resolve_shard_backoff(backoff_s)
     workers = max(1, int(workers))
     if workers == 1 or len(items) == 1:
         start = time.monotonic()

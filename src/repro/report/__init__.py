@@ -1,6 +1,12 @@
 """Terminal chart rendering and result serialisation."""
 
-from .ascii import bar_chart, event_timeline, histogram_chart, line_chart
+from .ascii import (
+    bar_chart,
+    event_timeline,
+    histogram_chart,
+    line_chart,
+    resilience_timeline,
+)
 from .serialize import dump_result, load_result, to_jsonable
 
 __all__ = [
@@ -10,5 +16,6 @@ __all__ = [
     "histogram_chart",
     "line_chart",
     "load_result",
+    "resilience_timeline",
     "to_jsonable",
 ]

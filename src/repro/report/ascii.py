@@ -163,6 +163,40 @@ def event_timeline(
     return "\n".join(lines)
 
 
+def resilience_timeline(
+    duration_s: float,
+    fault_times_s: Sequence[float] = (),
+    trigger_times_s: Sequence[float] = (),
+    fallback_times_s: Sequence[float] = (),
+    lp_fallback_times_s: Sequence[float] = (),
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """The shared fault/degradation timeline rendering.
+
+    One canonical lane layout for everything that reports resilience
+    events — the ``ext-faults`` experiment chart and the daemon's
+    per-tenant telemetry both call this, so the two surfaces stay
+    visually identical:
+
+    - ``faults``: scheduled fault strikes (sensor/core/manager).
+    - ``watchdog``: emergency throttles taken by the power watchdog.
+    - ``tier fallback``: manager invocations decided below tier 0
+      (the LinOpt -> Foxton* -> all-minimum chain engaging).
+    - ``lp fallback``: within-tier-0 LP solver degradations.
+
+    Lanes with no events still render, so absence of degradation is
+    visible rather than silent.
+    """
+    rows: Dict[str, Sequence[float]] = {
+        "faults": fault_times_s,
+        "watchdog": trigger_times_s,
+        "tier fallback": fallback_times_s,
+        "lp fallback": lp_fallback_times_s,
+    }
+    return event_timeline(duration_s, rows, title=title, width=width)
+
+
 def histogram_chart(values: Sequence[float], n_bins: int = 8,
                     title: str = "", width: int = 40) -> str:
     """Paper-style histogram (Figure 4) as horizontal bars."""

@@ -9,10 +9,20 @@ from .evaluation import (
     evaluate_uniform_frequency,
 )
 from .profiling import ThreadProfile, profile_threads
-from .simulation import OnlineSimulation, SimulationTrace
+from .simulation import (
+    DECISION_EMERGENCY,
+    DECISION_MANAGER,
+    ManagerDecision,
+    OnlineSimulation,
+    SimulationStepper,
+    SimulationTrace,
+)
 
 __all__ = [
     "Assignment",
+    "DECISION_EMERGENCY",
+    "DECISION_MANAGER",
+    "ManagerDecision",
     "SystemState",
     "ThreadProfile",
     "evaluate_explicit",
@@ -21,5 +31,6 @@ __all__ = [
     "evaluate_uniform_frequency",
     "profile_threads",
     "OnlineSimulation",
+    "SimulationStepper",
     "SimulationTrace",
 ]

@@ -98,6 +98,18 @@ class SimulationTrace:
         fallback_activations: Manager invocations decided below the
             primary tier (``resilience_tier > 0`` in the manager's
             stats — see :class:`repro.faults.ResilientManager`).
+        fallback_times_s: Timestamps of those below-primary decisions
+            (``len == fallback_activations`` in event mode).
+        tier_transitions: ``(time_s, tier)`` pairs recorded whenever a
+            manager decision lands on a different resilience tier than
+            the previous one (tier 0 assumed before the first
+            decision) — the escalation/recovery path through the
+            LinOpt -> Foxton* -> all-minimum chain.
+        lp_fallbacks: Total within-tier-0 LP fallbacks (LinOpt solves
+            that came back non-optimal and clamped to the window
+            floor) summed over all manager invocations.
+        lp_fallback_times_s: Timestamps of invocations whose decision
+            involved at least one LP fallback.
     """
 
     times_s: np.ndarray
@@ -113,6 +125,10 @@ class SimulationTrace:
     watchdog_triggers: Tuple[float, ...] = ()
     fault_events: Tuple["FaultEvent", ...] = ()
     fallback_activations: int = 0
+    fallback_times_s: Tuple[float, ...] = ()
+    tier_transitions: Tuple[Tuple[float, int], ...] = ()
+    lp_fallbacks: int = 0
+    lp_fallback_times_s: Tuple[float, ...] = ()
 
     @property
     def mean_abs_deviation_pct(self) -> float:
@@ -169,6 +185,47 @@ class _FaultRuntime:
     dead_cores: Set[int] = field(default_factory=set)
     core_caps: Dict[int, int] = field(default_factory=dict)
     skip_next_manager: bool = False
+
+
+#: ``ManagerDecision.kind`` values: a scheduled power-manager
+#: invocation vs a watchdog emergency step-down between invocations.
+DECISION_MANAGER = "manager"
+DECISION_EMERGENCY = "emergency"
+
+
+@dataclass(frozen=True)
+class ManagerDecision:
+    """One actuation decision taken during an event-driven run.
+
+    The decision stream is what an external controller (e.g. the
+    power-management daemon) consumes as its upstream actuation plan:
+    per-thread V/f levels, the thread-to-core map in force, and which
+    resilience tier produced the answer.
+
+    Attributes:
+        time_s: Simulated time of the decision.
+        kind: :data:`DECISION_MANAGER` for a scheduled manager
+            invocation, :data:`DECISION_EMERGENCY` for a watchdog
+            step-down between invocations.
+        levels: Per-thread DVFS levels after the decision (clamped by
+            droop caps and watchdog emergency caps).
+        core_of: Thread-to-core assignment in force at decision time.
+        migrated: Threads migrated by this decision's reschedule.
+        resilience_tier: Which tier of the fallback chain decided
+            (0 = primary; see :class:`repro.faults.ResilientManager`);
+            0 for plain managers and emergencies.
+        lp_fallbacks: Within-tier-0 LP fallbacks this invocation.
+        evaluations: Full-system evaluations the decision consumed.
+    """
+
+    time_s: float
+    kind: str
+    levels: Tuple[int, ...]
+    core_of: Tuple[int, ...]
+    migrated: Tuple[int, ...] = ()
+    resilience_tier: int = 0
+    lp_fallbacks: int = 0
+    evaluations: int = 0
 
 
 class OnlineSimulation:
@@ -342,14 +399,28 @@ class OnlineSimulation:
             raise ValueError("mode must be 'event' or 'dense'")
         if mode == "dense" and self._faulty:
             raise ValueError("fault injection requires mode='event'")
-        n_steps = int(round(duration_s / SENSOR_PERIOD_S))
-        times = np.arange(n_steps) * SENSOR_PERIOD_S
-        ipc_grid, ceff_grid = self._multiplier_grid(times)
         if mode == "dense":
+            n_steps = int(round(duration_s / SENSOR_PERIOD_S))
+            times = np.arange(n_steps) * SENSOR_PERIOD_S
+            ipc_grid, ceff_grid = self._multiplier_grid(times)
             return self._run_dense(times, dvfs_interval_s,
                                    ipc_grid, ceff_grid)
-        return self._run_event(times, dvfs_interval_s,
-                               ipc_grid, ceff_grid)
+        stepper = self.stepper(duration_s, dvfs_interval_s)
+        stepper.run_to_end()
+        return stepper.trace()
+
+    def stepper(self, duration_s: float,
+                dvfs_interval_s: float) -> "SimulationStepper":
+        """An incremental driver of the event loop (controller mode).
+
+        Returns a :class:`SimulationStepper` positioned at t = 0.
+        ``run(mode="event")`` is exactly ``stepper(...)`` advanced to
+        the end, so stepped execution — however the advances are
+        chunked — produces bitwise-identical traces and decisions.
+        """
+        if duration_s <= 0 or dvfs_interval_s <= 0:
+            raise ValueError("duration and interval must be positive")
+        return SimulationStepper(self, duration_s, dvfs_interval_s)
 
     # ------------------------------------------------------------------
     # Shared per-event logic
@@ -479,213 +550,6 @@ class OnlineSimulation:
         return assignment, migrated, force
 
     # ------------------------------------------------------------------
-    # Event-driven loop
-    # ------------------------------------------------------------------
-
-    def _run_event(self, times: np.ndarray, dvfs_interval_s: float,
-                   ipc_grid: np.ndarray, ceff_grid: np.ndarray,
-                   ) -> SimulationTrace:
-        n_steps = times.size
-        p_target = self.env.p_target(self.assignment.n_threads,
-                                     self.chip.n_cores)
-        power = np.empty(n_steps)
-        tput = np.empty(n_steps)
-        wtput = np.empty(n_steps)
-        manager_runs: List[float] = []
-        transition_time = 0.0
-        level_transitions = 0
-        migrations = 0
-        fallback_activations = 0
-
-        bank = self.sensor_bank
-        watchdog = self.watchdog
-        sensed: Optional[np.ndarray] = None
-        if bank is not None or watchdog is not None:
-            sensed = np.empty(n_steps)
-        if watchdog is not None:
-            watchdog.reset(self.assignment.n_threads)
-        fr = self._build_fault_runtime(times)
-
-        # Steps at which any application's multipliers change.
-        changed = np.zeros(n_steps, dtype=bool)
-        changed[1:] = np.any(
-            (ipc_grid[1:] != ipc_grid[:-1])
-            | (ceff_grid[1:] != ceff_grid[:-1]), axis=1)
-        change_steps = np.flatnonzero(changed)
-
-        def next_timer_step(target_t: float, step: int) -> int:
-            """First sample index after ``step`` whose time reaches
-            ``target_t`` (a timer fires at most once per sample)."""
-            s = int(np.searchsorted(times, target_t - _TIME_EPS,
-                                    side="left"))
-            return min(max(s, step + 1), n_steps)
-
-        levels: Optional[List[int]] = None
-        prev_levels: Optional[List[int]] = None
-        state = None
-        assignment = self.assignment
-        next_manager_t = 0.0
-        next_os_t = (self.os_interval_s
-                     if self.os_interval_s is not None else None)
-        pending_lossy: Optional[List[int]] = None
-        step = 0
-        while step < n_steps:
-            t = times[step]
-            ipc_mult = ipc_grid[step]
-            ceff_mult = ceff_grid[step]
-            migrated: Tuple[int, ...] = ()
-            # --- Apply fault events due at this sample. ---
-            while (fr.next_event < len(fr.events)
-                   and fr.event_steps[fr.next_event] <= step):
-                event = fr.events[fr.next_event]
-                fr.next_event += 1
-                assignment, moved, force = self._apply_fault(
-                    event, fr, assignment)
-                if moved:
-                    migrations += len(moved)
-                    migrated = migrated + moved
-                if force:
-                    # Operating point or map changed under the
-                    # manager: re-decide now, cold-started.
-                    levels = None
-                    state = None
-                    next_manager_t = t
-            if next_os_t is not None and t >= next_os_t - _TIME_EPS:
-                assignment, moved = self._os_reschedule(
-                    t, assignment, fr.dead_cores)
-                if moved:
-                    migrations += len(moved)
-                    migrated = migrated + moved
-                    # Force a fresh manager decision for the new map.
-                    levels = None
-                    next_manager_t = t
-                next_os_t += self.os_interval_s
-            stepped: Optional[List[int]] = None
-            if t >= next_manager_t - _TIME_EPS:
-                if fr.skip_next_manager:
-                    # Injected manager fault on a chain-less manager:
-                    # the decision is lost, previous levels persist.
-                    fr.skip_next_manager = False
-                    if levels is None:
-                        levels = self._thread_tops(assignment)
-                        levels = self._clamp_levels(levels, assignment,
-                                                    fr, watchdog)
-                        prev_levels = list(levels)
-                        state = None
-                    next_manager_t += dvfs_interval_s
-                else:
-                    kwargs = dict(ipc_multipliers=ipc_mult,
-                                  ceff_multipliers=ceff_mult)
-                    if levels is not None:
-                        # Warm start from the current operating point.
-                        kwargs.update(initial_levels=levels,
-                                      initial_state=state)
-                    result = self.manager.set_levels(
-                        self.chip, self.workload, assignment, self.env,
-                        **kwargs)
-                    if result.stats.get("resilience_tier", 0.0) > 0:
-                        fallback_activations += 1
-                    new_levels = list(result.levels)
-                    if self._faulty:
-                        if watchdog is not None:
-                            watchdog.on_manager_invocation(
-                                self._thread_tops(assignment))
-                        new_levels = self._clamp_levels(
-                            new_levels, assignment, fr, watchdog)
-                    if prev_levels is not None:
-                        stepped = self._transition_steps(prev_levels,
-                                                         new_levels,
-                                                         migrated)
-                        n_stepped = sum(stepped)
-                        level_transitions += n_stepped
-                        transition_time += (
-                            n_stepped * self.transition_latency_s)
-                        if n_stepped == 0:
-                            stepped = None
-                    levels = new_levels
-                    prev_levels = list(new_levels)
-                    manager_runs.append(t)
-                    next_manager_t += dvfs_interval_s
-                    state = None  # operating point changed
-            if state is None or changed[step]:
-                state = evaluate_levels(self.chip, self.workload,
-                                        assignment, levels,
-                                        ipc_multipliers=ipc_mult,
-                                        ceff_multipliers=ceff_mult)
-            # The state is constant until the next event: fill the
-            # sensor samples directly from the cached evaluation.
-            nxt = n_steps
-            j = int(np.searchsorted(change_steps, step, side="right"))
-            if j < change_steps.size:
-                nxt = min(nxt, int(change_steps[j]))
-            nxt = min(nxt, next_timer_step(next_manager_t, step))
-            if next_os_t is not None:
-                nxt = min(nxt, next_timer_step(next_os_t, step))
-            if fr.next_event < len(fr.events):
-                nxt = min(nxt, max(fr.event_steps[fr.next_event],
-                                   step + 1))
-            power[step:nxt] = state.total_power
-            tput[step:nxt] = state.throughput_mips
-            wtput[step:nxt] = state.weighted_throughput(self.workload)
-            if pending_lossy is not None:
-                if stepped is None:
-                    stepped = pending_lossy
-                else:
-                    stepped = [a + b for a, b in zip(stepped,
-                                                     pending_lossy)]
-                pending_lossy = None
-            if stepped is not None and self.transition_latency_s > 0:
-                tput[step], wtput[step] = self._lossy_sample(state, stepped)
-            # --- Sensor sampling and watchdog over the span. ---
-            if sensed is not None:
-                s = step
-                while s < nxt:
-                    if bank is not None:
-                        bank.advance(times[s])
-                        view = bank.read_chip(assignment.core_of,
-                                              state.core_power,
-                                              state.l2_power)
-                    else:
-                        view = state.total_power
-                    sensed[s] = view
-                    if (watchdog is not None and levels is not None
-                            and watchdog.observe(times[s], view,
-                                                 p_target)):
-                        new_levels, victim = (
-                            watchdog.emergency_step_down(levels))
-                        if victim >= 0:
-                            em = [abs(a - b) for a, b in
-                                  zip(levels, new_levels)]
-                            n_em = sum(em)
-                            level_transitions += n_em
-                            transition_time += (
-                                n_em * self.transition_latency_s)
-                            levels = new_levels
-                            prev_levels = list(new_levels)
-                            pending_lossy = em
-                            state = None
-                            nxt = s + 1
-                            break
-                    s += 1
-            step = nxt
-        return SimulationTrace(
-            times_s=times,
-            power_w=power,
-            p_target_w=p_target,
-            throughput_mips=tput,
-            weighted_throughput=wtput,
-            manager_runs=manager_runs,
-            transition_time_s=transition_time,
-            migrations=migrations,
-            level_transitions=level_transitions,
-            sensed_power_w=sensed,
-            watchdog_triggers=(tuple(watchdog.triggers)
-                               if watchdog is not None else ()),
-            fault_events=tuple(fr.applied),
-            fallback_activations=fallback_activations,
-        )
-
-    # ------------------------------------------------------------------
     # Dense reference loop (per-sample re-evaluation)
     # ------------------------------------------------------------------
 
@@ -773,4 +637,334 @@ class OnlineSimulation:
             transition_time_s=transition_time,
             migrations=migrations,
             level_transitions=level_transitions,
+        )
+
+
+class SimulationStepper:
+    """Incremental, controller-stepped driver of the event loop.
+
+    Owns the entire mutable state of one event-driven run of an
+    :class:`OnlineSimulation` and exposes it one *span* at a time: a
+    span is the stretch between two consecutive events (phase
+    boundary, manager timer, OS timer, fault strike, watchdog
+    emergency) during which the operating point is constant.
+    ``run(mode="event")`` simply advances a stepper to the end, so a
+    run is bitwise-identical no matter how the advances are chunked —
+    the property the power-management daemon's per-tenant isolation
+    tests pin.
+
+    Every actuation the run takes is appended to :attr:`decisions`
+    (see :class:`ManagerDecision`); an external controller forwards
+    those upstream as its V/f-plan stream.
+    """
+
+    def __init__(self, sim: OnlineSimulation, duration_s: float,
+                 dvfs_interval_s: float) -> None:
+        if duration_s <= 0 or dvfs_interval_s <= 0:
+            raise ValueError("duration and interval must be positive")
+        self.sim = sim
+        self.duration_s = float(duration_s)
+        self.dvfs_interval_s = float(dvfs_interval_s)
+        n_steps = int(round(duration_s / SENSOR_PERIOD_S))
+        self._n_steps = n_steps
+        self.times = np.arange(n_steps) * SENSOR_PERIOD_S
+        self._ipc_grid, self._ceff_grid = sim._multiplier_grid(
+            self.times)
+        self._p_target = sim.env.p_target(sim.assignment.n_threads,
+                                          sim.chip.n_cores)
+        self._power = np.empty(n_steps)
+        self._tput = np.empty(n_steps)
+        self._wtput = np.empty(n_steps)
+        self._manager_runs: List[float] = []
+        self._transition_time = 0.0
+        self._level_transitions = 0
+        self._migrations = 0
+        self._fallback_activations = 0
+        self._fallback_times: List[float] = []
+        self._tier_transitions: List[Tuple[float, int]] = []
+        self._last_tier = 0
+        self._lp_fallbacks = 0
+        self._lp_fallback_times: List[float] = []
+        #: Actuation decisions taken so far, in time order.
+        self.decisions: List[ManagerDecision] = []
+
+        self._bank = sim.sensor_bank
+        self._watchdog = sim.watchdog
+        self._sensed: Optional[np.ndarray] = None
+        if self._bank is not None or self._watchdog is not None:
+            self._sensed = np.empty(n_steps)
+        if self._watchdog is not None:
+            self._watchdog.reset(sim.assignment.n_threads)
+        self._fr = sim._build_fault_runtime(self.times)
+
+        # Steps at which any application's multipliers change.
+        changed = np.zeros(n_steps, dtype=bool)
+        changed[1:] = np.any(
+            (self._ipc_grid[1:] != self._ipc_grid[:-1])
+            | (self._ceff_grid[1:] != self._ceff_grid[:-1]), axis=1)
+        self._changed = changed
+        self._change_steps = np.flatnonzero(changed)
+
+        self._levels: Optional[List[int]] = None
+        self._prev_levels: Optional[List[int]] = None
+        self._state = None
+        self._assignment = sim.assignment
+        self._next_manager_t = 0.0
+        self._next_os_t = (sim.os_interval_s
+                           if sim.os_interval_s is not None else None)
+        self._pending_lossy: Optional[List[int]] = None
+        self._step = 0
+
+    # -- Progress -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether every sensor sample has been produced."""
+        return self._step >= self._n_steps
+
+    @property
+    def applied_faults(self) -> Tuple["FaultEvent", ...]:
+        """Fault events applied so far, in application order."""
+        return tuple(self._fr.applied)
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time of the next unprocessed sensor sample."""
+        if self.finished:
+            return self.duration_s
+        return float(self.times[self._step])
+
+    def advance_until(self, time_s: float) -> List[ManagerDecision]:
+        """Process every sensor sample strictly before ``time_s``.
+
+        Advancement is span-at-a-time, so the stepper may land
+        slightly past ``time_s`` (at the next event boundary); the
+        produced trace is unaffected by how calls are chunked.
+
+        Returns:
+            The decisions taken during this call, in time order.
+        """
+        first = len(self.decisions)
+        while (self._step < self._n_steps
+               and self.times[self._step] < time_s - _TIME_EPS):
+            self._advance_span()
+        return list(self.decisions[first:])
+
+    def run_to_end(self) -> List[ManagerDecision]:
+        """Advance to the end of the run; returns the new decisions."""
+        first = len(self.decisions)
+        while self._step < self._n_steps:
+            self._advance_span()
+        return list(self.decisions[first:])
+
+    # -- The event loop body ------------------------------------------
+
+    def _next_timer_step(self, target_t: float, step: int) -> int:
+        """First sample index after ``step`` whose time reaches
+        ``target_t`` (a timer fires at most once per sample)."""
+        s = int(np.searchsorted(self.times, target_t - _TIME_EPS,
+                                side="left"))
+        return min(max(s, step + 1), self._n_steps)
+
+    def _advance_span(self) -> None:
+        """Execute one event-to-event span of the run."""
+        sim = self.sim
+        fr = self._fr
+        watchdog = self._watchdog
+        bank = self._bank
+        step = self._step
+        t = self.times[step]
+        ipc_mult = self._ipc_grid[step]
+        ceff_mult = self._ceff_grid[step]
+        migrated: Tuple[int, ...] = ()
+        # --- Apply fault events due at this sample. ---
+        while (fr.next_event < len(fr.events)
+               and fr.event_steps[fr.next_event] <= step):
+            event = fr.events[fr.next_event]
+            fr.next_event += 1
+            self._assignment, moved, force = sim._apply_fault(
+                event, fr, self._assignment)
+            if moved:
+                self._migrations += len(moved)
+                migrated = migrated + moved
+            if force:
+                # Operating point or map changed under the
+                # manager: re-decide now, cold-started.
+                self._levels = None
+                self._state = None
+                self._next_manager_t = t
+        if (self._next_os_t is not None
+                and t >= self._next_os_t - _TIME_EPS):
+            self._assignment, moved = sim._os_reschedule(
+                t, self._assignment, fr.dead_cores)
+            if moved:
+                self._migrations += len(moved)
+                migrated = migrated + moved
+                # Force a fresh manager decision for the new map.
+                self._levels = None
+                self._next_manager_t = t
+            self._next_os_t += sim.os_interval_s
+        stepped: Optional[List[int]] = None
+        if t >= self._next_manager_t - _TIME_EPS:
+            if fr.skip_next_manager:
+                # Injected manager fault on a chain-less manager:
+                # the decision is lost, previous levels persist.
+                fr.skip_next_manager = False
+                if self._levels is None:
+                    levels = sim._thread_tops(self._assignment)
+                    self._levels = sim._clamp_levels(
+                        levels, self._assignment, fr, watchdog)
+                    self._prev_levels = list(self._levels)
+                    self._state = None
+                self._next_manager_t += self.dvfs_interval_s
+            else:
+                kwargs = dict(ipc_multipliers=ipc_mult,
+                              ceff_multipliers=ceff_mult)
+                if self._levels is not None:
+                    # Warm start from the current operating point.
+                    kwargs.update(initial_levels=self._levels,
+                                  initial_state=self._state)
+                result = sim.manager.set_levels(
+                    sim.chip, sim.workload, self._assignment, sim.env,
+                    **kwargs)
+                tier = int(result.stats.get("resilience_tier", 0.0))
+                lp_fb = int(result.stats.get("lp_fallbacks", 0.0))
+                if tier > 0:
+                    self._fallback_activations += 1
+                    self._fallback_times.append(float(t))
+                if tier != self._last_tier:
+                    self._tier_transitions.append((float(t), tier))
+                    self._last_tier = tier
+                if lp_fb > 0:
+                    self._lp_fallbacks += lp_fb
+                    self._lp_fallback_times.append(float(t))
+                new_levels = list(result.levels)
+                if sim._faulty:
+                    if watchdog is not None:
+                        watchdog.on_manager_invocation(
+                            sim._thread_tops(self._assignment))
+                    new_levels = sim._clamp_levels(
+                        new_levels, self._assignment, fr, watchdog)
+                if self._prev_levels is not None:
+                    stepped = sim._transition_steps(self._prev_levels,
+                                                    new_levels,
+                                                    migrated)
+                    n_stepped = sum(stepped)
+                    self._level_transitions += n_stepped
+                    self._transition_time += (
+                        n_stepped * sim.transition_latency_s)
+                    if n_stepped == 0:
+                        stepped = None
+                self._levels = new_levels
+                self._prev_levels = list(new_levels)
+                self._manager_runs.append(t)
+                self._next_manager_t += self.dvfs_interval_s
+                self._state = None  # operating point changed
+                self.decisions.append(ManagerDecision(
+                    time_s=float(t), kind=DECISION_MANAGER,
+                    levels=tuple(new_levels),
+                    core_of=tuple(self._assignment.core_of),
+                    migrated=tuple(migrated),
+                    resilience_tier=tier, lp_fallbacks=lp_fb,
+                    evaluations=int(result.evaluations)))
+        if self._state is None or self._changed[step]:
+            self._state = evaluate_levels(
+                sim.chip, sim.workload, self._assignment, self._levels,
+                ipc_multipliers=ipc_mult, ceff_multipliers=ceff_mult)
+        state = self._state
+        # The state is constant until the next event: fill the
+        # sensor samples directly from the cached evaluation.
+        nxt = self._n_steps
+        j = int(np.searchsorted(self._change_steps, step,
+                                side="right"))
+        if j < self._change_steps.size:
+            nxt = min(nxt, int(self._change_steps[j]))
+        nxt = min(nxt, self._next_timer_step(self._next_manager_t,
+                                             step))
+        if self._next_os_t is not None:
+            nxt = min(nxt, self._next_timer_step(self._next_os_t,
+                                                 step))
+        if fr.next_event < len(fr.events):
+            nxt = min(nxt, max(fr.event_steps[fr.next_event],
+                               step + 1))
+        self._power[step:nxt] = state.total_power
+        self._tput[step:nxt] = state.throughput_mips
+        self._wtput[step:nxt] = state.weighted_throughput(sim.workload)
+        if self._pending_lossy is not None:
+            if stepped is None:
+                stepped = self._pending_lossy
+            else:
+                stepped = [a + b for a, b in zip(stepped,
+                                                 self._pending_lossy)]
+            self._pending_lossy = None
+        if stepped is not None and sim.transition_latency_s > 0:
+            self._tput[step], self._wtput[step] = sim._lossy_sample(
+                state, stepped)
+        # --- Sensor sampling and watchdog over the span. ---
+        if self._sensed is not None:
+            s = step
+            while s < nxt:
+                if bank is not None:
+                    bank.advance(self.times[s])
+                    view = bank.read_chip(self._assignment.core_of,
+                                          state.core_power,
+                                          state.l2_power)
+                else:
+                    view = state.total_power
+                self._sensed[s] = view
+                if (watchdog is not None and self._levels is not None
+                        and watchdog.observe(self.times[s], view,
+                                             self._p_target)):
+                    new_levels, victim = (
+                        watchdog.emergency_step_down(self._levels))
+                    if victim >= 0:
+                        em = [abs(a - b) for a, b in
+                              zip(self._levels, new_levels)]
+                        n_em = sum(em)
+                        self._level_transitions += n_em
+                        self._transition_time += (
+                            n_em * sim.transition_latency_s)
+                        self._levels = new_levels
+                        self._prev_levels = list(new_levels)
+                        self._pending_lossy = em
+                        self._state = None
+                        self.decisions.append(ManagerDecision(
+                            time_s=float(self.times[s]),
+                            kind=DECISION_EMERGENCY,
+                            levels=tuple(new_levels),
+                            core_of=tuple(self._assignment.core_of),
+                            resilience_tier=self._last_tier))
+                        nxt = s + 1
+                        break
+                s += 1
+        self._step = nxt
+
+    # -- Results ------------------------------------------------------
+
+    def trace(self) -> SimulationTrace:
+        """The completed run's trace (requires :attr:`finished`)."""
+        if not self.finished:
+            raise RuntimeError(
+                "run not finished; advance to the end before asking "
+                "for the trace")
+        watchdog = self._watchdog
+        return SimulationTrace(
+            times_s=self.times,
+            power_w=self._power,
+            p_target_w=self._p_target,
+            throughput_mips=self._tput,
+            weighted_throughput=self._wtput,
+            manager_runs=self._manager_runs,
+            transition_time_s=self._transition_time,
+            migrations=self._migrations,
+            level_transitions=self._level_transitions,
+            sensed_power_w=self._sensed,
+            watchdog_triggers=(tuple(watchdog.triggers)
+                               if watchdog is not None else ()),
+            fault_events=tuple(self._fr.applied),
+            fallback_activations=self._fallback_activations,
+            fallback_times_s=tuple(self._fallback_times),
+            tier_transitions=tuple(self._tier_transitions),
+            lp_fallbacks=self._lp_fallbacks,
+            lp_fallback_times_s=tuple(self._lp_fallback_times),
         )

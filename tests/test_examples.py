@@ -43,11 +43,18 @@ class TestExamples:
         assert "memory" in out
         assert "LinOpt" in out
 
+    def test_daemon_service(self, capsys):
+        out = _run_example("daemon_service", capsys)
+        assert "actuation stream" in out
+        assert "resilience timeline" in out
+        assert "tenants_registered" in out
+
     def test_all_examples_exist_and_compile(self):
         expected = {"quickstart", "variation_study",
                     "online_power_management", "thermal_aware",
                     "solver_comparison", "full_timeline",
-                    "trace_driven_profiles", "lifetime_study"}
+                    "trace_driven_profiles", "lifetime_study",
+                    "daemon_service"}
         found = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
         assert expected <= found
         for path in EXAMPLES_DIR.glob("*.py"):

@@ -24,10 +24,16 @@ from repro.parallel import (
     parallel_config,
     profile_from_payload,
     profile_payload,
+    resolve_shard_backoff,
+    resolve_shard_retries,
     resolve_workers,
     run_sharded,
     shard_indices,
     spawn_seeds,
+)
+from repro.parallel.sharding import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_MAX_SHARD_RETRIES,
 )
 
 
@@ -197,6 +203,57 @@ class TestConfigPlumbing:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         assert cache_enabled()
         assert get_default_cache().root == tmp_path / "envcache"
+
+
+class TestShardRetryKnobs:
+    """Satellite: configurable run_sharded retry budget and backoff."""
+
+    def test_defaults_unchanged(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_SHARD_BACKOFF_S", raising=False)
+        assert resolve_shard_retries() == DEFAULT_MAX_SHARD_RETRIES == 2
+        assert resolve_shard_backoff() == DEFAULT_BACKOFF_S == 0.05
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_RETRIES", "7")
+        monkeypatch.setenv("REPRO_SHARD_BACKOFF_S", "9.0")
+        with parallel_config(shard_retries=5, shard_backoff_s=1.0):
+            assert resolve_shard_retries(1) == 1
+            assert resolve_shard_backoff(0.0) == 0.0
+
+    def test_parallel_config_overrides_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_SHARD_BACKOFF_S", raising=False)
+        with parallel_config(shard_retries=5, shard_backoff_s=0.25):
+            assert resolve_shard_retries() == 5
+            assert resolve_shard_backoff() == 0.25
+        assert resolve_shard_retries() == DEFAULT_MAX_SHARD_RETRIES
+        assert resolve_shard_backoff() == DEFAULT_BACKOFF_S
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_RETRIES", "4")
+        monkeypatch.setenv("REPRO_SHARD_BACKOFF_S", "0.125")
+        assert resolve_shard_retries() == 4
+        assert resolve_shard_backoff() == 0.125
+        monkeypatch.setenv("REPRO_SHARD_RETRIES", "junk")
+        monkeypatch.setenv("REPRO_SHARD_BACKOFF_S", "junk")
+        assert resolve_shard_retries() == DEFAULT_MAX_SHARD_RETRIES
+        assert resolve_shard_backoff() == DEFAULT_BACKOFF_S
+        monkeypatch.setenv("REPRO_SHARD_RETRIES", "-3")
+        monkeypatch.setenv("REPRO_SHARD_BACKOFF_S", "-1.0")
+        assert resolve_shard_retries() == 0
+        assert resolve_shard_backoff() == 0.0
+
+    def test_merge_order_unchanged_under_knobs(self):
+        items = list(range(23))
+        expected = [2 * i for i in items]
+        assert run_sharded(_double_all, items, workers=3) == expected
+        with parallel_config(shard_retries=0, shard_backoff_s=0.0):
+            assert (run_sharded(_double_all, items, workers=3)
+                    == expected)
+        assert run_sharded(_double_all, items, workers=3,
+                           max_shard_retries=0,
+                           backoff_s=0.0) == expected
 
 
 class TestChipFactoryIntegration:

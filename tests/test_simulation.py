@@ -292,3 +292,54 @@ class TestOsRescheduling:
                                manager=FoxtonStar())
         trace = sim.run(0.02, 0.01)
         assert trace.migrations == 0
+
+
+class TestSimulationStepper:
+    """Controller-stepped mode: same code path, same results."""
+
+    def _sim(self, chip, sim_setup, seed=7):
+        wl, asg = sim_setup
+        return OnlineSimulation(chip, wl, asg, COST_PERFORMANCE,
+                                manager=FoxtonStar(), phase_seed=seed)
+
+    def test_chunked_advance_bitwise_matches_run(self, chip,
+                                                 sim_setup):
+        ref = self._sim(chip, sim_setup).run(0.05, 0.01)
+        stepper = self._sim(chip, sim_setup).stepper(0.05, 0.01)
+        # Uneven, boundary-misaligned chunks.
+        for until in (0.004, 0.0171, 0.0171, 0.032, 0.1):
+            stepper.advance_until(until)
+        assert stepper.finished
+        trace = stepper.trace()
+        np.testing.assert_array_equal(trace.power_w, ref.power_w)
+        np.testing.assert_array_equal(trace.throughput_mips,
+                                      ref.throughput_mips)
+        np.testing.assert_array_equal(trace.weighted_throughput,
+                                      ref.weighted_throughput)
+        assert trace.manager_runs == ref.manager_runs
+        assert trace.level_transitions == ref.level_transitions
+
+    def test_decision_stream_chunking_invariant(self, chip,
+                                                sim_setup):
+        one_shot = self._sim(chip, sim_setup).stepper(0.04, 0.01)
+        one_shot.run_to_end()
+        chunked = self._sim(chip, sim_setup).stepper(0.04, 0.01)
+        while not chunked.finished:
+            chunked.advance_until(chunked.time_s + 0.003)
+        assert chunked.decisions == one_shot.decisions
+        assert len(one_shot.decisions) == 4
+        for decision in one_shot.decisions:
+            assert decision.kind == "manager"
+            assert len(decision.levels) == 6
+
+    def test_trace_requires_finish(self, chip, sim_setup):
+        stepper = self._sim(chip, sim_setup).stepper(0.04, 0.01)
+        stepper.advance_until(0.01)
+        with pytest.raises(RuntimeError):
+            stepper.trace()
+
+    def test_advance_past_end_is_idempotent(self, chip, sim_setup):
+        stepper = self._sim(chip, sim_setup).stepper(0.02, 0.01)
+        stepper.run_to_end()
+        assert stepper.advance_until(1.0) == []
+        assert stepper.time_s == 0.02
