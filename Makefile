@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos daemon bench bench-gate bench-baseline coverage
+.PHONY: test lint chaos daemon fleet bench bench-gate bench-baseline coverage
 
 test:
 	$(PYTHON) -m pytest -x -q -W error::RuntimeWarning
@@ -15,6 +15,12 @@ chaos:
 # job runs this plus the service benchmark under a hard timeout).
 daemon:
 	$(PYTHON) -m pytest -x -q tests/test_daemon.py tests/test_daemon_chaos.py
+
+# Fleet subsystem suite + the nightly kill/resume bitwise check at
+# smoke scale (the scheduled CI job runs it at 10^4 dies).
+fleet:
+	$(PYTHON) -m pytest -x -q tests/test_fleet.py
+	$(PYTHON) benchmarks/fleet_nightly.py --dies 600 --out /tmp/repro-fleet-nightly
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks

@@ -58,10 +58,27 @@ def is_volatile(key: str) -> bool:
 
 
 def load_records(results_dir: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+    """Load BENCH records, failing clearly on malformed files.
+
+    A record that cannot be parsed or that lacks its ``name`` field
+    is a broken emitter, not a perf regression — fail with the file
+    name instead of surfacing a ``KeyError`` from deep inside the
+    comparison.
+    """
     records = {}
     for path in sorted(results_dir.glob("BENCH_*.json")):
-        record = json.loads(path.read_text())
-        records[record["name"]] = record
+        try:
+            record = json.loads(path.read_text())
+        except ValueError as exc:
+            raise SystemExit(
+                f"perf gate: {path.name} is not valid JSON ({exc})")
+        name = record.get("name") if isinstance(record, dict) else None
+        if not isinstance(name, str) or not name:
+            raise SystemExit(
+                f"perf gate: {path.name} has no 'name' field — every "
+                "BENCH record must name its benchmark (see "
+                "benchmarks/conftest.py::emit)")
+        records[name] = record
     return records
 
 
@@ -155,6 +172,23 @@ def check(records: Dict[str, Dict[str, Any]],
     for name in sorted(set(records) - set(baseline)):
         warnings.append(f"{name}: not in baseline (refresh with "
                         "'make bench-baseline')")
+        # A brand-new benchmark has no baseline entry yet, but floors
+        # it declares about itself are still promises — enforce them
+        # so a new perf guarantee cannot silently regress in the PR
+        # that introduces it.
+        record = records[name]
+        metrics = record.get("metrics", {})
+        for key, floor in sorted((record.get("floors") or {}).items()):
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)):
+                failures.append(
+                    f"{name}: floored metric {key!r} missing from "
+                    "record (the record declares a floor for a metric "
+                    "it does not emit)")
+            elif value < floor:
+                failures.append(
+                    f"{name}: metric {key!r} = {value:.3f} below "
+                    f"declared floor {floor:g} (not yet baselined)")
 
     for line in warnings:
         print(f"WARN  {line}")
@@ -163,7 +197,146 @@ def check(records: Dict[str, Dict[str, Any]],
     checked = len(set(baseline) & set(records))
     print(f"perf gate: {checked} benchmark(s) checked, "
           f"{len(failures)} failure(s), {len(warnings)} warning(s)")
+    write_step_summary(records, baseline, failures, warnings, rtol)
     return 1 if failures else 0
+
+
+def _fmt_num(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def summary_markdown(records: Dict[str, Dict[str, Any]],
+                     baseline: Dict[str, Dict[str, Any]],
+                     failures: List[str], warnings: List[str],
+                     rtol: float) -> str:
+    """Markdown perf-gate report for ``$GITHUB_STEP_SUMMARY``.
+
+    One overview table (wall delta, metric counts, floors status per
+    benchmark) plus a collapsible per-metric delta table, so a
+    regression is readable from the Actions run page without
+    downloading artifacts. Every lookup uses ``.get`` — a record
+    metric with no baseline counterpart renders as ``new``, never as
+    a ``KeyError``.
+    """
+    checked = len(set(baseline) & set(records))
+    lines = ["## Perf gate", ""]
+    lines.append(f"**{'FAIL' if failures else 'PASS'}** — {checked} "
+                 f"benchmark(s) checked, {len(failures)} failure(s), "
+                 f"{len(warnings)} warning(s)")
+    lines.append("")
+    if failures:
+        lines.append("### Failures")
+        lines.extend(f"- {f}" for f in failures)
+        lines.append("")
+
+    lines.append("| benchmark | wall (base → now) | Δ wall | metrics "
+                 "| floors |")
+    lines.append("|---|---|---|---|---|")
+    detail_rows: List[str] = []
+    for name in sorted(set(baseline) | set(records)):
+        base = baseline.get(name)
+        record = records.get(name)
+        if record is None:
+            lines.append(f"| {name} | — | — | missing record | — |")
+            continue
+        metrics = record.get("metrics", {}) or {}
+        base_metrics = (base or {}).get("metrics", {}) or {}
+        wall = record.get("wall_time_s")
+        base_wall = (base or {}).get("wall_time_s")
+        if isinstance(wall, (int, float)) and isinstance(
+                base_wall, (int, float)) and base_wall > 0:
+            wall_cell = f"{base_wall:.2f}s → {wall:.2f}s"
+            delta_cell = f"{(wall - base_wall) / base_wall:+.0%}"
+        elif isinstance(wall, (int, float)):
+            wall_cell = f"new → {wall:.2f}s"
+            delta_cell = "—"
+        else:
+            wall_cell = delta_cell = "—"
+
+        drifted = new = 0
+        for key in sorted(set(base_metrics) | set(metrics)):
+            if is_volatile(key):
+                continue
+            expected = base_metrics.get(key)
+            got = metrics.get(key)
+            if key not in base_metrics:
+                status = "new"
+                new += 1
+            elif key not in metrics:
+                status = "MISSING"
+                drifted += 1
+            elif close(got, expected, rtol):
+                status = "ok"
+            else:
+                status = "DRIFT"
+                drifted += 1
+            if status != "ok":
+                detail_rows.append(
+                    f"| {name} | {key} | "
+                    f"{_fmt_num(expected) if expected is not None else '—'}"
+                    f" | {_fmt_num(got) if got is not None else '—'} | "
+                    f"{status} |")
+        n_checked = sum(1 for k in base_metrics if not is_volatile(k))
+        metric_cell = f"{n_checked} checked"
+        if drifted:
+            metric_cell += f", **{drifted} drifted**"
+        if new:
+            metric_cell += f", {new} new"
+
+        floors = ((base or {}).get("floors")
+                  or record.get("floors") or {})
+        if floors:
+            parts = []
+            for key, floor in sorted(floors.items()):
+                value = metrics.get(key)
+                if isinstance(value, (int, float)):
+                    mark = "✓" if value >= floor else "**✗**"
+                    parts.append(f"{key} {_fmt_num(value)} ≥ "
+                                 f"{_fmt_num(floor)} {mark}")
+                else:
+                    parts.append(f"{key} missing **✗**")
+            floors_cell = "; ".join(parts)
+        else:
+            floors_cell = "—"
+        tag = "" if base is not None else " (not baselined)"
+        lines.append(f"| {name}{tag} | {wall_cell} | {delta_cell} | "
+                     f"{metric_cell} | {floors_cell} |")
+    lines.append("")
+
+    if detail_rows:
+        lines.append("<details><summary>Per-metric deltas "
+                     "(non-ok only)</summary>")
+        lines.append("")
+        lines.append("| benchmark | metric | baseline | current | "
+                     "status |")
+        lines.append("|---|---|---|---|---|")
+        lines.extend(detail_rows)
+        lines.append("")
+        lines.append("</details>")
+        lines.append("")
+    if warnings:
+        lines.append("<details><summary>Warnings</summary>")
+        lines.append("")
+        lines.extend(f"- {w}" for w in warnings)
+        lines.append("")
+        lines.append("</details>")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_step_summary(records: Dict[str, Dict[str, Any]],
+                       baseline: Dict[str, Dict[str, Any]],
+                       failures: List[str], warnings: List[str],
+                       rtol: float) -> None:
+    """Append the markdown report to ``$GITHUB_STEP_SUMMARY`` if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(summary_markdown(records, baseline, failures,
+                                  warnings, rtol) + "\n")
 
 
 def update(records: Dict[str, Dict[str, Any]],

@@ -1,0 +1,141 @@
+"""Benchmark: fleet-scale Monte-Carlo campaign (die-batched).
+
+Gates the ROADMAP's "every user is a die" axis: a fig04-shaped
+campaign streamed through the die-batched
+:class:`~repro.runtime.kernel.FleetEvalKernel`, columnar shards and
+online quantiles. The perf gate enforces a hard **floor on dies/s**
+(the fleet throughput guarantee), checks the campaign's statistical
+metrics for drift (they are bitwise-deterministic), and the RSS test
+pins the O(chunk)-memory claim: peak RSS must not grow with fleet
+size.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+from conftest import emit
+
+from repro.experiments.common import full_run
+from repro.experiments.fig04_variation import core_power_ratio
+from repro.fleet import FleetPlan, load_summary, run_fleet_campaign
+from repro.fleet.campaign import fleet_die_metrics
+from repro.parallel import characterize_batch
+
+# Conservative floor: locally the serial campaign sustains ~55-70
+# dies/s (4-core fleet arch, full 4(a) power analysis); CI runners
+# are slower and noisier, so the guarantee is set well below — but a
+# fleet path that falls to per-die-loop speeds (~15 dies/s) fails.
+DIES_PER_S_FLOOR = 12.0
+
+
+def test_fleet_campaign(benchmark, results_dir, tmp_path):
+    n_dies = 2000 if full_run() else 240
+    plan = FleetPlan(name="bench_fleet", n_dies=n_dies, seed=0)
+
+    result = benchmark.pedantic(
+        lambda: run_fleet_campaign(plan, tmp_path, workers=1),
+        rounds=1, iterations=1)
+    summary = load_summary(result.out_dir)
+    power = summary["metrics"]["power_ratio"]
+    freq = summary["metrics"]["freq_ratio"]
+
+    # Die-batched vs per-die serial analysis on a small slice: the
+    # fleet kernel must beat one-die-at-a-time evaluation.
+    probe = 16
+    chips = characterize_batch(plan.tech, plan.arch, plan.seed,
+                               list(range(probe)), workers=1,
+                               cache=None)
+    t0 = time.perf_counter()
+    serial_ratios = [core_power_ratio(chip) for chip in chips]
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fleet_cols = fleet_die_metrics(chips)
+    fleet_s = time.perf_counter() - t0
+    assert list(fleet_cols["power_ratio"]) == serial_ratios  # bitwise
+    speedup = serial_s / fleet_s if fleet_s > 0 else float("inf")
+
+    emit(results_dir, "fleet",
+         f"fleet campaign: {n_dies} dies, "
+         f"{result.dies_per_s:.1f} dies/s\n"
+         f"power ratio mean {power['mean']:.4f} "
+         f"p50 {power['quantiles']['p50']:.4f}\n"
+         f"freq ratio mean {freq['mean']:.4f} "
+         f"p50 {freq['quantiles']['p50']:.4f}\n"
+         f"analysis speedup vs per-die loop: {speedup:.2f}x "
+         f"({probe} dies)",
+         benchmark=benchmark,
+         metrics={
+             "n_dies": n_dies,
+             "n_chunks": result.n_chunks,
+             "dies_per_s": result.dies_per_s,
+             "speedup_fleet_analysis": speedup,
+             "mean_power_ratio": power["mean"],
+             "mean_freq_ratio": freq["mean"],
+             "p95_power_ratio": power["quantiles"]["p95"],
+             "min_freq_ratio": freq["min"],
+         },
+         extra={"floors": {"dies_per_s": DIES_PER_S_FLOOR}})
+
+    # Paper shape on the fleet arch (4 cores: narrower spread than
+    # the 20-core figure arch, but clearly variation-dominated).
+    assert 1.05 < freq["mean"] < 1.45
+    assert 1.1 < power["mean"] < 1.9
+    assert power["count"] == n_dies and freq["count"] == n_dies
+    # The die-batched analysis must win, not just tie.
+    assert speedup > 1.0
+
+
+_RSS_CHILD = r"""
+import resource, sys
+from repro.fleet import FleetPlan, run_fleet_campaign
+n_dies = int(sys.argv[1])
+out = sys.argv[2]
+plan = FleetPlan(name="rss", n_dies=n_dies, seed=0, with_power=False,
+                 chunk_dies=64)
+run_fleet_campaign(plan, out, workers=1)
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _child_peak_rss_kb(n_dies: int, out_dir) -> int:
+    """Peak RSS of a subprocess running an n-die freq-only campaign.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so comparing
+    fleet sizes honestly requires one fresh process per size.
+    """
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, str(n_dies), str(out_dir)],
+        capture_output=True, text=True, check=True)
+    return int(proc.stdout.strip().splitlines()[-1])
+
+
+def test_fleet_rss_independent_of_fleet_size(benchmark, results_dir,
+                                             tmp_path):
+    """Peak memory is O(chunk): 5x the dies, same RSS high-water."""
+    small, large = (400, 2000) if full_run() else (200, 1000)
+
+    def run_both():
+        rss_small = _child_peak_rss_kb(small, tmp_path / "small")
+        rss_large = _child_peak_rss_kb(large, tmp_path / "large")
+        return rss_small, rss_large
+
+    rss_small, rss_large = benchmark.pedantic(run_both, rounds=1,
+                                              iterations=1)
+    ratio = rss_large / rss_small
+    emit(results_dir, "fleet_rss",
+         f"peak RSS: {small} dies -> {rss_small} kB, "
+         f"{large} dies -> {rss_large} kB (ratio {ratio:.3f})",
+         benchmark=benchmark,
+         metrics={"rss_ratio_s": ratio,
+                  "n_dies_small": small, "n_dies_large": large})
+
+    # Shard files on disk grow 5x; the process high-water mark must
+    # not. Allow 20% slack for allocator noise and journal replay
+    # bookkeeping (chunk keys are O(n_chunks), a few hundred bytes
+    # each).
+    assert ratio < 1.20, (
+        f"peak RSS grew {ratio:.2f}x when the fleet grew "
+        f"{large / small:.0f}x — streaming is leaking per-die state")

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig11 [--trials 20] [--static] [--no-sann]
     python -m repro.cli all [--resume]
     python -m repro.cli cache stats|verify|gc|clear
+    python -m repro.cli fleet run|plan|merge|stats ...
 
 ``REPRO_FULL=1`` switches the defaults to the paper's full scale
 (200 dies, 20 trials) — expect long runtimes. ``--resume`` (or
@@ -254,6 +255,155 @@ def _daemon_main(argv: List[str]) -> int:
         return 0
 
 
+def _fleet_main(argv: List[str]) -> int:
+    """The ``repro fleet`` campaign subcommand.
+
+    ``run`` streams a fig04-shaped Monte-Carlo campaign over many
+    dies (columnar shards + online statistics, always journaled, so
+    an interrupted run resumes bitwise); ``plan`` writes a multi-host
+    manifest partitioning the die range; ``merge`` reassembles the
+    hosts' outputs into one campaign (refusing on gaps unless
+    ``--allow-partial``); ``stats`` renders a campaign summary.
+    """
+    import pathlib
+
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description="Fleet-scale Monte-Carlo campaigns over many "
+                    "dies (see DESIGN.md section 17).")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_run = sub.add_parser("run", help="run (or resume) a campaign")
+    p_run.add_argument("--name", default="fleet",
+                       help="campaign name (results/<name>/)")
+    p_run.add_argument("--dies", type=int, default=1000,
+                       help="fleet size (default 1000)")
+    p_run.add_argument("--start", type=int, default=0,
+                       help="first die index (manifest slices)")
+    p_run.add_argument("--chunk", type=int, default=64,
+                       help="dies per chunk/shard (default 64)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--no-power", action="store_true",
+                       help="skip the 4(a) power analysis (freq "
+                            "ratios only; much faster)")
+    p_run.add_argument("--out", default="results",
+                       help="results root (default results/)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="characterisation worker processes")
+    p_run.add_argument("--manifest", default=None,
+                       help="multi-host manifest; with --host, run "
+                            "only that host's die slice")
+    p_run.add_argument("--host", default=None,
+                       help="this host's name in the manifest")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="no per-chunk progress lines")
+
+    p_plan = sub.add_parser("plan", help="write a multi-host manifest")
+    p_plan.add_argument("--name", default="fleet")
+    p_plan.add_argument("--dies", type=int, required=True)
+    p_plan.add_argument("--chunk", type=int, default=64)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--no-power", action="store_true")
+    p_plan.add_argument("--hosts", required=True,
+                        help="comma-separated host names")
+    p_plan.add_argument("--manifest", required=True,
+                        help="manifest file to write")
+
+    p_merge = sub.add_parser("merge",
+                             help="merge per-host campaign outputs")
+    p_merge.add_argument("host_dirs", nargs="+",
+                         help="per-host campaign directories "
+                              "(<out>/<name> layouts)")
+    p_merge.add_argument("--manifest", required=True)
+    p_merge.add_argument("--out", default="results",
+                         help="merged results root")
+    p_merge.add_argument("--allow-partial", action="store_true",
+                         help="emit a best-effort summary even if "
+                              "chunks are missing (no complete mark)")
+
+    p_stats = sub.add_parser("stats", help="render a campaign summary")
+    p_stats.add_argument("campaign_dir",
+                         help="campaign directory (<out>/<name>)")
+    p_stats.add_argument("--from-shards", action="store_true",
+                         help="recompute statistics by streaming the "
+                              "shards instead of reading summary.json")
+
+    args = parser.parse_args(argv)
+    from .fleet import (FleetPlan, load_summary, merge_campaigns,
+                        run_fleet_campaign, summarize_shards)
+    from .parallel.manifest import ShardManifest
+    from .report import fleet_summary_table
+
+    if args.action == "run":
+        if args.manifest:
+            manifest = ShardManifest.load(args.manifest)
+            if not args.host:
+                print("--manifest requires --host for 'fleet run'",
+                      file=sys.stderr)
+                return 2
+            plan = FleetPlan.from_dict(
+                manifest.host_plan_params(args.host))
+        else:
+            plan = FleetPlan(name=args.name, n_dies=args.dies,
+                             start=args.start, seed=args.seed,
+                             chunk_dies=args.chunk,
+                             with_power=not args.no_power)
+        progress = None
+        if not args.quiet:
+            def progress(done: int, total: int) -> None:
+                print(f"  {done}/{total} dies", flush=True)
+        result = run_fleet_campaign(plan, args.out,
+                                    workers=args.workers,
+                                    progress=progress)
+        print(fleet_summary_table(load_summary(result.out_dir)))
+        print(f"\n{result.n_dies} dies in {result.wall_s:.1f}s "
+              f"({result.dies_per_s:.1f} dies/s, "
+              f"{result.resumed_chunks}/{result.n_chunks} chunks "
+              "resumed from journal)")
+        print(f"shards + summary under {result.out_dir}")
+        return 0
+
+    if args.action == "plan":
+        plan = FleetPlan(name=args.name, n_dies=args.dies,
+                         seed=args.seed, chunk_dies=args.chunk,
+                         with_power=not args.no_power)
+        hosts = [h.strip() for h in args.hosts.split(",") if h.strip()]
+        manifest = ShardManifest.partition(plan.to_dict(), hosts)
+        path = manifest.write(args.manifest)
+        for h in manifest.hosts:
+            print(f"{h.host:16s} dies [{h.start}, {h.end})  "
+                  f"({h.n_dies})")
+        print(f"manifest written to {path}")
+        print(f"per host: repro fleet run --manifest {path} "
+              "--host <name>")
+        return 0
+
+    if args.action == "merge":
+        manifest = ShardManifest.load(args.manifest)
+        from .parallel import IncompleteJournalError
+        try:
+            result = merge_campaigns(
+                manifest, args.host_dirs, args.out,
+                require_complete=not args.allow_partial)
+        except IncompleteJournalError as exc:
+            print(f"merge refused: {exc}", file=sys.stderr)
+            print("(use --allow-partial for a best-effort summary)",
+                  file=sys.stderr)
+            return 1
+        print(fleet_summary_table(load_summary(result.out_dir)))
+        print(f"\nmerged {result.n_dies} dies "
+              f"({result.n_chunks} chunks) into {result.out_dir}")
+        return 0
+
+    campaign_dir = pathlib.Path(args.campaign_dir)
+    if args.from_shards:
+        acc = summarize_shards(campaign_dir / "shards")
+        print(fleet_summary_table({"metrics": acc.summary()}))
+    else:
+        print(fleet_summary_table(load_summary(campaign_dir)))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -262,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "daemon":
         return _daemon_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():

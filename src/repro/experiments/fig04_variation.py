@@ -21,6 +21,7 @@ import numpy as np
 
 from ..chip import ChipProfile
 from ..config import ArchConfig, DEFAULT_ARCH, DEFAULT_TECH, TechParams
+from ..fleet.campaign import fleet_die_metrics
 from ..parallel import (
     CharacterizationCache,
     get_default_cache,
@@ -33,7 +34,13 @@ from .common import ChipFactory, default_n_dies, format_rows, histogram
 
 
 def core_power_ratio(chip: ChipProfile) -> float:
-    """Max/min per-core average power across all applications."""
+    """Max/min per-core average power across all applications.
+
+    Serial per-die reference; batch paths go through
+    :func:`repro.fleet.campaign.fleet_die_metrics`, which computes the
+    same statistic die-batched and bitwise-identically (property-
+    tested in tests/test_fleet.py).
+    """
     mean_power = np.empty(chip.n_cores)
     for core_id in range(chip.n_cores):
         assignment = Assignment(core_of=(core_id,))
@@ -51,6 +58,17 @@ def core_frequency_ratio(chip: ChipProfile) -> float:
     return float(fmax.max() / fmax.min())
 
 
+def _fleet_pairs(chips: Sequence[ChipProfile],
+                 with_power: bool) -> List[Tuple[float, float]]:
+    """Die-batched ``(power_ratio, freq_ratio)`` pairs for a fleet."""
+    cols = fleet_die_metrics(chips, with_power=with_power)
+    freq = cols["freq_ratio"]
+    power = cols.get("power_ratio")
+    if power is None:
+        return [(float("nan"), float(f)) for f in freq]
+    return [(float(p), float(f)) for p, f in zip(power, freq)]
+
+
 def _ratio_shard(tech: TechParams, arch: ArchConfig, seed: int,
                  cache_root: Optional[str], with_power: bool,
                  indices: Sequence[int]) -> List[Tuple[float, float]]:
@@ -58,11 +76,7 @@ def _ratio_shard(tech: TechParams, arch: ArchConfig, seed: int,
     cache = CharacterizationCache(cache_root) if cache_root else None
     factory = ChipFactory(tech=tech, arch=arch, seed=seed,
                           workers=1, cache=cache)
-    return [
-        (core_power_ratio(chip) if with_power else float("nan"),
-         core_frequency_ratio(chip))
-        for chip in factory.chips_for(list(indices))
-    ]
+    return _fleet_pairs(factory.chips_for(list(indices)), with_power)
 
 
 def die_ratios(n_dies: int, tech: TechParams = DEFAULT_TECH,
@@ -75,21 +89,25 @@ def die_ratios(n_dies: int, tech: TechParams = DEFAULT_TECH,
     The per-die work — characterisation plus the 4(a)/4(b) ratio
     analysis — is independent, so with ``workers > 1`` whole dies
     shard across processes via :func:`repro.parallel.run_sharded`.
-    The serial path (``workers=1``) reuses ``factory`` in-process and
-    is bitwise-identical, as each die is deterministic in isolation.
-    ``with_power=False`` skips the expensive 4(a) power analysis and
-    reports NaN for it (Figure 5(b) only needs frequencies).
+    Within a process the analysis is die-batched through
+    :class:`~repro.runtime.kernel.FleetEvalKernel` (all dies of the
+    shard evaluate each (core, app) point in lockstep), which is
+    bitwise-identical to the historical per-die loop. ``with_power=
+    False`` skips the expensive 4(a) power analysis and reports NaN
+    for it (Figure 5(b) only needs frequencies).
     """
     if factory is not None:
         tech, arch, seed = factory.tech, factory.arch, factory.seed
     workers = resolve_workers(workers)
     if workers <= 1 or n_dies <= 1:
-        factory = factory or ChipFactory(tech=tech, arch=arch, seed=seed)
-        return [
-            (core_power_ratio(chip) if with_power else float("nan"),
-             core_frequency_ratio(chip))
-            for chip in factory.chips(n_dies)
-        ]
+        if factory is not None:
+            # Caller-held factory: keep its chip cache warm for reuse.
+            return _fleet_pairs(factory.chips(n_dies), with_power)
+        factory = ChipFactory(tech=tech, arch=arch, seed=seed)
+        pairs: List[Tuple[float, float]] = []
+        for chunk in factory.chips_stream(range(n_dies)):
+            pairs.extend(_fleet_pairs(chunk, with_power))
+        return pairs
     store = get_default_cache()
     cache_root = str(store.root) if store is not None else None
     fn = functools.partial(_ratio_shard, tech, arch, seed,

@@ -1,0 +1,162 @@
+"""Columnar append-only result shards for fleet campaigns.
+
+A campaign never holds per-die results for the whole fleet in memory:
+each chunk of dies is written out as one compressed npz *shard* —
+aligned 1-D columns (``die`` plus one column per metric) covering a
+contiguous, half-open die range — under ``results/<run>/shards/``.
+Shards are immutable once written; writes go through the same
+mkstemp + ``os.replace`` idiom as the characterization cache, so a
+reader (or a resumed run) never observes a torn file, and re-writing
+a shard from journaled results is an atomic no-op-shaped replace.
+
+File naming is the range: ``shard-<start>-<end>.npz`` with zero-padded
+8-digit bounds, so a plain lexicographic directory listing is already
+die order and coverage/gap analysis needs no index file.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ShardInfo",
+    "coverage_ranges",
+    "iter_shards",
+    "load_shard",
+    "missing_ranges",
+    "shard_name",
+    "write_shard",
+]
+
+_SHARD_RE = re.compile(r"^shard-(\d{8})-(\d{8})\.npz$")
+
+PathLike = Union[str, pathlib.Path]
+
+
+def shard_name(start: int, end: int) -> str:
+    """Canonical filename for the half-open die range [start, end)."""
+    if not 0 <= start < end:
+        raise ValueError("need 0 <= start < end")
+    if end > 10 ** 8:
+        raise ValueError("die index exceeds the 8-digit shard naming")
+    return f"shard-{start:08d}-{end:08d}.npz"
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard file and the die range it covers."""
+
+    path: pathlib.Path
+    start: int
+    end: int
+
+    @property
+    def n_dies(self) -> int:
+        return self.end - self.start
+
+
+def write_shard(shard_dir: PathLike, start: int, end: int,
+                columns: Dict[str, np.ndarray]) -> pathlib.Path:
+    """Atomically write one columnar shard for dies [start, end).
+
+    Every column must be 1-D with exactly ``end - start`` entries; a
+    ``die`` column holding the absolute die indices is added
+    automatically. Uses ``np.savez_compressed`` into a mkstemp sibling
+    then ``os.replace`` — crash-safe and last-writer-wins, matching
+    the cache-store idiom. Note npz is a zip container with member
+    timestamps, so two byte-wise comparisons of *files* from different
+    runs will differ; equality checks must compare loaded arrays
+    (see :func:`load_shard` and the nightly resume check).
+    """
+    shard_dir = pathlib.Path(shard_dir)
+    n = end - start
+    arrays: Dict[str, np.ndarray] = {
+        "die": np.arange(start, end, dtype=np.int64)}
+    for name, col in columns.items():
+        arr = np.asarray(col)
+        if arr.ndim != 1 or arr.size != n:
+            raise ValueError(
+                f"column {name!r} has shape {arr.shape}, expected "
+                f"({n},) for die range [{start}, {end})")
+        if name == "die":
+            raise ValueError("'die' is the implicit index column")
+        arrays[name] = arr
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    path = shard_dir / shard_name(start, end)
+    fd, tmp_name = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_shard(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load one shard's columns as plain in-memory arrays."""
+    with np.load(pathlib.Path(path)) as data:
+        return {name: data[name].copy() for name in data.files}
+
+
+def iter_shards(shard_dir: PathLike) -> Iterator[ShardInfo]:
+    """Shards in die order (their names sort by range)."""
+    shard_dir = pathlib.Path(shard_dir)
+    if not shard_dir.is_dir():
+        return
+    for entry in sorted(shard_dir.iterdir()):
+        m = _SHARD_RE.match(entry.name)
+        if m:
+            yield ShardInfo(path=entry, start=int(m.group(1)),
+                            end=int(m.group(2)))
+
+
+def coverage_ranges(shard_dir: PathLike) -> List[Tuple[int, int]]:
+    """Merged, sorted die ranges covered by the shards on disk.
+
+    Raises if two shards overlap — overlapping ranges mean two writers
+    disagreed about chunking and the campaign must not silently pick
+    one.
+    """
+    merged: List[Tuple[int, int]] = []
+    for info in iter_shards(shard_dir):
+        if merged and info.start < merged[-1][1]:
+            raise ValueError(
+                f"overlapping shards at die {info.start}: "
+                f"{merged[-1]} vs ({info.start}, {info.end})")
+        if merged and info.start == merged[-1][1]:
+            merged[-1] = (merged[-1][0], info.end)
+        else:
+            merged.append((info.start, info.end))
+    return merged
+
+
+def missing_ranges(shard_dir: PathLike, start: int,
+                   end: int) -> List[Tuple[int, int]]:
+    """Gaps in shard coverage over the die range [start, end)."""
+    gaps: List[Tuple[int, int]] = []
+    cursor = start
+    for lo, hi in coverage_ranges(shard_dir):
+        if hi <= cursor:
+            continue
+        if lo >= end:
+            break
+        if lo > cursor:
+            gaps.append((cursor, min(lo, end)))
+        cursor = max(cursor, hi)
+        if cursor >= end:
+            break
+    if cursor < end:
+        gaps.append((cursor, end))
+    return gaps

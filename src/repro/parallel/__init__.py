@@ -30,11 +30,13 @@ from .journal import (
     active_journal,
     default_journal_root,
     discard_journal,
+    merge_journals,
     resume_enabled,
     set_journal_root,
     set_resume,
     unit_key,
 )
+from .manifest import HostSlice, ShardManifest
 from .runner import (
     characterize_batch,
     parallel_config,
@@ -59,9 +61,11 @@ __all__ = [
     "CHARACTERIZATION_TAG",
     "CacheIntegrityError",
     "CharacterizationCache",
+    "HostSlice",
     "IncompleteJournalError",
     "RunHealth",
     "RunJournal",
+    "ShardManifest",
     "active_journal",
     "available_workers",
     "cache_enabled",
@@ -72,6 +76,7 @@ __all__ = [
     "discard_journal",
     "get_default_cache",
     "get_run_health",
+    "merge_journals",
     "parallel_config",
     "profile_from_payload",
     "profile_payload",

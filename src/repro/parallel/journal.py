@@ -193,6 +193,48 @@ class RunJournal:
         self._complete_marks[scope] = int(n_units)
 
 
+def merge_journals(dest: RunJournal,
+                   sources: Iterable[Union[str, pathlib.Path,
+                                           RunJournal]]) -> int:
+    """Merge unit entries from several journals into ``dest``.
+
+    The multi-host primitive: each host of a fleet manifest journals
+    its own die slice; merging replays every source's units into the
+    destination journal (append-only, durable), after which the
+    merged journal resumes/validates exactly like a single-host run
+    over the full range would. Content keys make this safe — a unit's
+    key pins everything its result depends on, so the same key
+    appearing in two sources must carry the same result, and a
+    *conflicting* duplicate means two hosts disagreed about identical
+    work (clock-skewed code versions, corrupt transfer) and the merge
+    refuses rather than silently picking a winner.
+
+    ``complete`` marks are deliberately **not** merged: a source's
+    mark covers only its own slice, so completeness of the merged
+    campaign must be re-established against the full unit-key set
+    (``RunJournal.require_complete``) by the caller.
+
+    Returns the number of newly merged units.
+    """
+    merged = 0
+    for src in sources:
+        journal = (src if isinstance(src, RunJournal)
+                   else RunJournal(src))
+        for key in journal.completed():
+            result = journal.lookup(key)
+            existing = dest.lookup(key)
+            if existing is not None:
+                if existing != result:
+                    raise ValueError(
+                        f"journal merge conflict on unit {key[:16]}…: "
+                        f"{journal.path} disagrees with already-merged "
+                        "results for the same content key")
+                continue
+            dest.record(key, {"merged_from": str(journal.path)}, result)
+            merged += 1
+    return merged
+
+
 # ---------------------------------------------------------------------------
 # Process-wide resume configuration (mirrors the cache-root pattern)
 

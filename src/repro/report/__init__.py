@@ -2,17 +2,21 @@
 
 from .ascii import (
     bar_chart,
+    binned_histogram_chart,
     event_timeline,
     histogram_chart,
     line_chart,
     resilience_timeline,
 )
+from .fleet import fleet_summary_table
 from .serialize import dump_result, load_result, to_jsonable
 
 __all__ = [
     "bar_chart",
+    "binned_histogram_chart",
     "dump_result",
     "event_timeline",
+    "fleet_summary_table",
     "histogram_chart",
     "line_chart",
     "load_result",

@@ -9,7 +9,7 @@ chart is built from the same result dataclasses the tables print.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -208,3 +208,43 @@ def histogram_chart(values: Sequence[float], n_bins: int = 8,
               for i in range(n_bins)]
     return bar_chart(labels, counts.astype(float), title=title,
                      width=width)
+
+
+def binned_histogram_chart(edges: Sequence[float],
+                           counts: Sequence[int],
+                           title: str = "", width: int = 40,
+                           max_rows: int = 16,
+                           underflow: int = 0,
+                           overflow: int = 0) -> str:
+    """Histogram from *already binned* counts (fleet campaigns).
+
+    Fleet statistics arrive as fixed-bin counts — the raw per-die
+    values were streamed to shards and never held in memory — so this
+    is the O(1)-memory sibling of :func:`histogram_chart`. Adjacent
+    bins are coalesced down to at most ``max_rows`` rows (bin counts
+    add exactly), and any under/overflow mass gets its own labelled
+    row so escapees from the declared range stay visible.
+    """
+    edges = np.asarray(edges, dtype=float)
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0 or edges.size != counts.size + 1:
+        raise ValueError("need n_bins counts and n_bins+1 edges")
+    occupied = np.flatnonzero(counts)
+    if occupied.size:
+        lo_bin, hi_bin = int(occupied[0]), int(occupied[-1]) + 1
+        edges = edges[lo_bin:hi_bin + 1]
+        counts = counts[lo_bin:hi_bin]
+    group = max(1, -(-counts.size // max_rows))
+    labels: list = []
+    values: list = []
+    if underflow:
+        labels.append(f"< {edges[0]:.2f}")
+        values.append(float(underflow))
+    for i in range(0, counts.size, group):
+        j = min(i + group, counts.size)
+        labels.append(f"{edges[i]:.2f}-{edges[j]:.2f}")
+        values.append(float(counts[i:j].sum()))
+    if overflow:
+        labels.append(f">= {edges[-1]:.2f}")
+        values.append(float(overflow))
+    return bar_chart(labels, values, title=title, width=width)

@@ -73,6 +73,58 @@ from .evaluation import EVALUATION_COUNTER, Assignment, SystemState
 _CHUNK_ROWS = 16
 
 
+def _scalar_pow_prefactor(temps_cols: np.ndarray,
+                          vdd_cols: np.ndarray) -> np.ndarray:
+    """Per-(row, occupied block) scalar leakage prefactor.
+
+    ``vdd * (t / Tref) ** 2`` computed with the serial path's *scalar*
+    semantics: the square goes through libm ``pow()`` (what a 0-d
+    ``** 2`` resolves to), which differs from every numpy array square
+    by 1 ulp for rare inputs — the one place scalar and array float
+    paths genuinely diverge. The division and multiply are
+    single-rounded IEEE ops, identical either way, so only the ``pow``
+    needs the scalar loop — a few dozen scalars per row, not one per
+    cell. Shared by the candidate-batched and die-batched kernels.
+    """
+    ratio = temps_cols / T_REF_K
+    sq = np.array([math.pow(x, 2.0) for x in ratio.ravel().tolist()])
+    return vdd_cols * sq.reshape(ratio.shape)
+
+
+def _leakage_factors_inplace(vth: np.ndarray, t: np.ndarray,
+                             dib: np.ndarray, pref: np.ndarray,
+                             tmp: np.ndarray, n_slope: float,
+                             vth_temp_coeff: float) -> np.ndarray:
+    """Leakage factor over a row x cell matrix, in place.
+
+    Evaluates the exact expression tree of
+    :func:`repro.power.leakage.leakage_factor` — same operations, same
+    associativity, constants hoisted by the caller — as a chain of
+    in-place ufuncs over preallocated scratch (``tmp``); ``t`` is
+    destroyed, ``dib`` is the hoisted DIBL term
+    ``DIBL_COEFF * (vdd - vdd_nominal)`` and ``pref`` the per-cell
+    gather of :func:`_scalar_pow_prefactor`. The only deviations from
+    the source expression are commuted multiplication/addition
+    operands, which IEEE-754 guarantees bit-identical, so entry
+    ``[b, c]`` is bit-for-bit the serial scalar result for row ``b``
+    (property-tested in tests/test_kernel.py and tests/test_fleet.py).
+    ``vth`` may be one shared cell row (candidate batching) or one row
+    per die (fleet batching) — broadcasting is value-deterministic
+    either way. Returns ``tmp``.
+    """
+    np.subtract(t, T_REF_K, out=tmp)
+    np.multiply(tmp, vth_temp_coeff, out=tmp)
+    np.add(tmp, vth, out=tmp)
+    np.subtract(tmp, dib, out=tmp)          # tmp = vth_eff
+    np.multiply(t, BOLTZMANN_EV, out=t)
+    np.multiply(t, n_slope, out=t)          # t = n_slope * v_t
+    np.negative(tmp, out=tmp)
+    np.divide(tmp, t, out=tmp)
+    np.exp(tmp, out=tmp)
+    np.multiply(tmp, pref, out=tmp)
+    return tmp
+
+
 class KernelStats:
     """Per-kernel observability counters.
 
@@ -435,9 +487,7 @@ class EvalKernel:
         way, so only the ``pow`` needs the scalar loop — a few dozen
         scalars per candidate, not one per cell.
         """
-        ratio = temps_cols / T_REF_K
-        sq = np.array([math.pow(x, 2.0) for x in ratio.ravel().tolist()])
-        return vdd_cols * sq.reshape(ratio.shape)
+        return _scalar_pow_prefactor(temps_cols, vdd_cols)
 
     def _factors(self, vth: np.ndarray, t: np.ndarray, dib: np.ndarray,
                  pref: np.ndarray, tmp: np.ndarray) -> np.ndarray:
@@ -456,17 +506,9 @@ class EvalKernel:
         scalar result for candidate ``b`` (property-tested in
         tests/test_kernel.py). Returns ``tmp``.
         """
-        np.subtract(t, T_REF_K, out=tmp)
-        np.multiply(tmp, self._vth_temp_coeff, out=tmp)
-        np.add(tmp, vth, out=tmp)
-        np.subtract(tmp, dib, out=tmp)          # tmp = vth_eff
-        np.multiply(t, BOLTZMANN_EV, out=t)
-        np.multiply(t, self._n_slope, out=t)    # t = n_slope * v_t
-        np.negative(tmp, out=tmp)
-        np.divide(tmp, t, out=tmp)
-        np.exp(tmp, out=tmp)
-        np.multiply(tmp, pref, out=tmp)
-        return tmp
+        return _leakage_factors_inplace(vth, t, dib, pref, tmp,
+                                        self._n_slope,
+                                        self._vth_temp_coeff)
 
     def _leakage_matrix(self, temps: np.ndarray, vdd_cols: np.ndarray,
                         dib: np.ndarray, tgat: np.ndarray,
@@ -612,6 +654,474 @@ class EvalKernel:
                 work_dyn = work_dyn[keep]
                 work_vdd = work_vdd[keep]
                 work_dib = work_dib[keep]
+            else:
+                work_temps = new_temps
+        for r in orig:
+            row_errors[r] = RuntimeError(
+                "leakage-temperature iteration did not converge "
+                f"within {MAX_ITERATIONS} iterations (thermal runaway?)")
+            out_iters[r] = MAX_ITERATIONS
+        return out_temps, out_powers, out_iters, row_errors
+
+
+class FleetEvalKernel:
+    """Die-batched system evaluation: one decision, many variation maps.
+
+    The dual of :class:`EvalKernel`: where that class batches *many
+    candidate decisions on one die*, this one batches *one decision
+    across many dies* — the Monte-Carlo axis of the paper's per-die
+    results (Figs 4/5, Table 5), where every sampled variation map is
+    evaluated at the same operating point and only the statistics over
+    the fleet matter. The leakage/IPC/Ceff lookup tables and the
+    packed leakage-cell row gain a leading *die* axis, and the
+    leakage-temperature fixed point runs in lockstep across dies with
+    per-row convergence masks and compaction, so die ``d``'s iterate
+    sequence is exactly the serial
+    :func:`repro.runtime.evaluation.evaluate_levels` schedule on
+    ``chips[d]`` and the results are **bitwise identical** to the
+    per-die serial loop (tests/test_fleet.py property-tests this).
+
+    All dies must come off the same design: identical
+    :class:`~repro.config.TechParams` and
+    :class:`~repro.config.ArchConfig`, hence identical floorplans,
+    thermal networks, V/f-table level grids and variation-cell layouts
+    — only the *values* (per-die binned frequencies, Vth maps,
+    calibrations) differ. The thermal solve uses ``chips[0]``'s
+    network; networks built from the same floorplan factor the same
+    matrix, so the shared solve is bit-for-bit each die's own.
+
+    Args:
+        chips: The fleet ('s current slab) of characterised dies.
+        workload: The threads (``workload[i]`` runs on
+            ``assignment.core_of[i]`` of every die).
+        assignment: Thread-to-core mapping, shared by all dies.
+        ipc_multipliers: Optional per-thread phase IPC multipliers.
+        ceff_multipliers: Optional per-thread phase power multipliers.
+    """
+
+    def __init__(
+        self,
+        chips: Sequence[ChipProfile],
+        workload: Workload,
+        assignment: Assignment,
+        ipc_multipliers: Optional[Sequence[float]] = None,
+        ceff_multipliers: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not chips:
+            raise ValueError("fleet must contain at least one die")
+        first = chips[0]
+        for chip in chips:
+            if chip.tech != first.tech or chip.arch != first.arch:
+                raise ValueError(
+                    "fleet dies must share TechParams and ArchConfig")
+            if chip.thermal.n_blocks != first.thermal.n_blocks:
+                raise ValueError("fleet dies must share the thermal "
+                                 "network shape")
+        n = assignment.n_threads
+        if workload.n_threads != n:
+            raise ValueError("workload and assignment sizes differ")
+        if max(assignment.core_of) >= first.n_cores:
+            raise ValueError("assignment references a core beyond the die")
+        ipc_mult = (np.ones(n) if ipc_multipliers is None
+                    else np.asarray(ipc_multipliers, dtype=float))
+        ceff_mult = (np.ones(n) if ceff_multipliers is None
+                     else np.asarray(ceff_multipliers, dtype=float))
+        if ipc_mult.shape != (n,) or ceff_mult.shape != (n,):
+            raise ValueError("need one multiplier per thread")
+
+        d = len(chips)
+        self.chips = list(chips)
+        self.workload = workload
+        self.assignment = assignment
+        self.stats = KernelStats()
+        self._tech = first.tech
+        self._thermal = first.thermal
+        self._n = n
+        self._d = d
+        self._core_of = np.asarray(assignment.core_of, dtype=int)
+        self._n_cores = first.n_cores
+        self._n_blocks = first.thermal.n_blocks
+
+        # Per-(die, thread, level) lookup tables, each entry computed
+        # with the exact scalar expression the serial path uses.
+        self._n_levels = np.array(
+            [first.cores[c].vf_table.n_levels for c in assignment.core_of])
+        for chip in chips:
+            for i, c in enumerate(assignment.core_of):
+                if chip.cores[c].vf_table.n_levels != self._n_levels[i]:
+                    raise ValueError("fleet dies must share the DVFS "
+                                     "level grid")
+        max_levels = int(self._n_levels.max())
+        self._volts_tab = np.zeros((d, n, max_levels))
+        self._freqs_tab = np.zeros((d, n, max_levels))
+        self._ipc_tab = np.zeros((d, n, max_levels))
+        self._dyn_tab = np.zeros((d, n, max_levels))
+        for k, chip in enumerate(chips):
+            for i, core in enumerate(assignment.core_of):
+                table = chip.cores[core].vf_table
+                for lv in range(table.n_levels):
+                    v = table.voltages[lv]
+                    f = table.freqs[lv]
+                    self._volts_tab[k, i, lv] = v
+                    self._freqs_tab[k, i, lv] = f
+                    self._ipc_tab[k, i, lv] = (workload[i].ipc_at(f)
+                                               * ipc_mult[i])
+                    self._dyn_tab[k, i, lv] = (workload[i].ceff
+                                               * ceff_mult[i] * v ** 2 * f)
+
+        # Packed leakage state: the same concatenated cell row as
+        # EvalKernel, but one row PER DIE — per-die Vth maps, weights
+        # and calibrations are the whole point of the fleet axis.
+        # Segment boundaries must agree across dies (same floorplan
+        # => same cell counts), so the per-cell bookkeeping vectors
+        # stay shared.
+        ref_parts = ([first.cores[c].leakage.cell_vth
+                      for c in assignment.core_of]
+                     + list(first.l2_leakage.block_vth))
+        sizes = [p.size for p in ref_parts]
+        bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(int)
+        n_cells = int(bounds[-1])
+        n_l2 = len(first.l2_leakage.block_vth)
+        if n_l2 != self._n_blocks - self._n_cores:
+            raise ValueError("L2 leakage blocks do not match the "
+                             "thermal network")
+        self._core_segs = [(int(bounds[i]), int(bounds[i + 1]))
+                           for i in range(n)]
+        self._l2_segs = [(int(bounds[n + j]), int(bounds[n + j + 1]))
+                         for j in range(n_l2)]
+        self._n_core_cells = int(bounds[n])
+        self._cells_mat = np.empty((d, n_cells))
+        self._w_mat = np.zeros((d, self._n_core_cells))
+        self._calib_mat = np.empty((d, n))
+        self._l2_calib = np.empty(d)
+        self._l2_share_mat = np.empty((d, n_l2))
+        self._l2_dyn_share = first.floorplan.l2_area_share
+        for k, chip in enumerate(chips):
+            parts = ([chip.cores[c].leakage.cell_vth
+                      for c in assignment.core_of]
+                     + list(chip.l2_leakage.block_vth))
+            if [p.size for p in parts] != sizes:
+                raise ValueError("fleet dies must share the variation-"
+                                 "cell layout")
+            self._cells_mat[k] = np.concatenate(parts)
+            for i, c in enumerate(assignment.core_of):
+                s0, s1 = self._core_segs[i]
+                self._w_mat[k, s0:s1] = chip.cores[c].leakage.cell_weights
+                self._calib_mat[k, i] = chip.cores[c].leakage.calibration
+            self._l2_calib[k] = chip.l2_leakage.calibration
+            self._l2_share_mat[k] = chip.l2_leakage.block_share
+            if not np.array_equal(chip.floorplan.l2_area_share,
+                                  self._l2_dyn_share):
+                raise ValueError("fleet dies must share the floorplan")
+
+        cell_vsrc = np.empty(n_cells, dtype=int)
+        cell_block = np.empty(n_cells, dtype=int)
+        for i, (s0, s1) in enumerate(self._core_segs):
+            cell_vsrc[s0:s1] = i
+            cell_block[s0:s1] = assignment.core_of[i]
+        for j, (s0, s1) in enumerate(self._l2_segs):
+            cell_vsrc[s0:s1] = n
+            cell_block[s0:s1] = self._n_cores + j
+        self._cell_block = cell_block
+        used = sorted(set(cell_block.tolist()))
+        self._pow_cols = np.array(used, dtype=int)
+        col_of = {blk: k for k, blk in enumerate(used)}
+        self._cell_powcol = np.array(
+            [col_of[blk] for blk in cell_block.tolist()], dtype=int)
+        powcol_vsrc = np.empty(len(used), dtype=int)
+        for c in range(n_cells):
+            powcol_vsrc[self._cell_powcol[c]] = cell_vsrc[c]
+        self._powcol_vsrc = powcol_vsrc
+
+        self._n_slope = subthreshold_slope_factor(first.tech)
+        self._vth_temp_coeff = first.tech.vth_temp_coeff
+        self._vdd_nominal = first.tech.vdd_nominal
+
+    @property
+    def n_dies(self) -> int:
+        return self._d
+
+    # ------------------------------------------------------------------
+    def evaluate_levels_fleet(
+        self, levels: Sequence[int],
+        errors: str = "raise",
+    ) -> List[SystemState]:
+        """Evaluate one decision on every die of the fleet.
+
+        Args:
+            levels: ``(n_threads,)`` per-thread DVFS levels applied to
+                every die (the fleet's shared decision), or a
+                ``(n_dies, n_threads)`` matrix with one row per die.
+            errors: ``"raise"`` (default) re-raises the exception of
+                the lowest-index failing die — exactly what a serial
+                in-order scan of the dies would raise first.
+                ``"isolate"`` returns the exception *object* in that
+                die's slot instead, so campaign drivers can record the
+                failure and keep streaming the rest of the fleet.
+
+        Returns:
+            One converged :class:`SystemState` per die, in die order —
+            element ``k`` is bitwise-identical to
+            ``evaluate_levels(chips[k], workload, assignment,
+            levels[k])``.
+        """
+        if errors not in ("raise", "isolate"):
+            raise ValueError("errors must be 'raise' or 'isolate'")
+        start = time.perf_counter()
+        lv = np.asarray(levels, dtype=int)
+        if lv.ndim == 1:
+            lv = np.broadcast_to(lv[None, :], (self._d, lv.size)).copy()
+        if lv.shape != (self._d, self._n):
+            raise ValueError("need one level per thread (optionally "
+                             "one row per die)")
+        bad = (lv < 0) | (lv >= self._n_levels[None, :])
+        if bad.any():
+            b, i = np.argwhere(bad)[0]
+            raise ValueError(
+                f"level {lv[b, i]} out of range for core "
+                f"{self._core_of[i]}")
+
+        out: List[SystemState] = []
+        total_iters = 0
+        for c0 in range(0, self._d, _CHUNK_ROWS):
+            c1 = min(c0 + _CHUNK_ROWS, self._d)
+            states, iters = self._eval_dies(c0, c1, lv[c0:c1])
+            out.extend(states)
+            total_iters += iters
+
+        wall = time.perf_counter() - start
+        self.stats.record(self._d, total_iters, wall)
+        EVALUATION_COUNTER.record_batch(self._d, total_iters, wall)
+        if errors == "raise":
+            for item in out:
+                if isinstance(item, Exception):
+                    raise item
+        return out
+
+    def evaluate_max_levels_fleet(self,
+                                  errors: str = "raise",
+                                  ) -> List[SystemState]:
+        """Every die at its cores' top operating points (NUniFreq)."""
+        return self.evaluate_levels_fleet(self._n_levels - 1,
+                                          errors=errors)
+
+    def _eval_dies(self, c0: int, c1: int, levels: np.ndarray):
+        """Evaluate one cache-sized slab of dies (rows ``c0:c1``)."""
+        n_rows = c1 - c0
+        # Per-(die, thread) gathers from the (die, thread, level)
+        # tables; ascontiguousarray for the same reason EvalKernel
+        # uses np.take — downstream row reductions must see
+        # C-contiguous rows so BLAS takes the contiguous-ddot path.
+        ix_d = np.arange(n_rows)[:, None]
+        ix_t = np.arange(self._n)[None, :]
+        volts = np.ascontiguousarray(
+            self._volts_tab[c0:c1][ix_d, ix_t, levels])
+        freqs = np.ascontiguousarray(
+            self._freqs_tab[c0:c1][ix_d, ix_t, levels])
+        ipcs = np.ascontiguousarray(
+            self._ipc_tab[c0:c1][ix_d, ix_t, levels])
+        core_dyn = np.ascontiguousarray(
+            self._dyn_tab[c0:c1][ix_d, ix_t, levels])
+
+        block_dyn = np.zeros((n_rows, self._n_blocks))
+        block_dyn[:, self._core_of] = core_dyn
+        l2_dyn_total = L2_DYNAMIC_FRACTION * core_dyn.sum(axis=1)
+        block_dyn[:, self._n_cores:] = (l2_dyn_total[:, None]
+                                        * self._l2_dyn_share[None, :])
+
+        volts_ext = np.concatenate(
+            [volts, np.full((n_rows, 1), L2_VDD)], axis=1)
+        vdd_cols = np.take(volts_ext, self._powcol_vsrc, axis=1)
+        dib_cols = DIBL_COEFF * (vdd_cols - self._vdd_nominal)
+        dib_full = np.take(dib_cols, self._cell_powcol, axis=1)
+        cells = self._cells_mat[c0:c1]
+        temps, powers, iters, row_errors = self._fixed_point(
+            c0, cells, block_dyn, vdd_cols, dib_full)
+        for b, err in enumerate(row_errors):
+            if err is not None:
+                temps[b] = self._thermal.ambient_k
+
+        if np.any(temps <= 0):
+            raise ValueError("temperature must be positive kelvin")
+        dot = np.dot
+        cc = self._n_core_cells
+        pref_cols = _scalar_pow_prefactor(
+            np.take(temps, self._pow_cols, axis=1), vdd_cols)
+        pref = np.take(pref_cols, self._cell_powcol[:cc], axis=1)
+        tgat = np.take(temps, self._cell_block[:cc], axis=1)
+        factors = _leakage_factors_inplace(
+            cells[:, :cc], tgat, dib_full[:, :cc], pref,
+            np.empty_like(tgat), self._n_slope, self._vth_temp_coeff)
+        core_leak = np.empty((n_rows, self._n))
+        for i in range(self._n):
+            s0, s1 = self._core_segs[i]
+            vals = np.empty(n_rows)
+            for b in range(n_rows):
+                vals[b] = dot(self._w_mat[c0 + b, s0:s1],
+                              factors[b, s0:s1])
+            core_leak[:, i] = self._calib_mat[c0:c1, i] * vals
+
+        out: List = []
+        for b in range(n_rows):
+            if row_errors[b] is not None:
+                out.append(row_errors[b])
+                continue
+            l2_power = float(powers[b, self._n_cores:].sum())
+            total = float(core_dyn[b].sum() + core_leak[b].sum()) + l2_power
+            out.append(SystemState(
+                voltages=volts[b].copy(),
+                freqs=freqs[b].copy(),
+                ipcs=ipcs[b].copy(),
+                core_dynamic=core_dyn[b].copy(),
+                core_leakage=core_leak[b].copy(),
+                block_temps=temps[b].copy(),
+                l2_power=l2_power,
+                total_power=total,
+            ))
+        return out, int(iters.sum())
+
+    # ------------------------------------------------------------------
+    def _leakage_matrix(self, c0: int, rows: np.ndarray,
+                        temps: np.ndarray, vdd_cols: np.ndarray,
+                        dib: np.ndarray, cells: np.ndarray,
+                        tgat: np.ndarray, tmp: np.ndarray,
+                        pref: np.ndarray) -> np.ndarray:
+        """Per-die per-block leakage power (bitwise-serial).
+
+        ``rows`` maps each active working row to its die index within
+        the current slab (offset ``c0`` into the fleet arrays), so
+        compacted survivors keep reading *their own* weights and
+        calibrations. Reduction forms exactly mirror
+        ``CoreLeakageModel.power`` / ``L2LeakageModel.power_per_block``
+        — one contiguous-slice ``dot`` / pairwise sum per die per
+        segment, never a batched BLAS call (see DESIGN.md §13/§17).
+        """
+        if np.any(temps <= 0):
+            raise ValueError("temperature must be positive kelvin")
+        n_active = temps.shape[0]
+        dot = np.dot
+        add_reduce = np.add.reduce
+        pref_cols = _scalar_pow_prefactor(
+            np.take(temps, self._pow_cols, axis=1), vdd_cols)
+        np.take(pref_cols, self._cell_powcol, axis=1, out=pref)
+        np.take(temps, self._cell_block, axis=1, out=tgat)
+        factors = _leakage_factors_inplace(
+            cells, tgat, dib, pref, tmp,
+            self._n_slope, self._vth_temp_coeff)
+        leak = np.zeros((n_active, self._n_blocks))
+        for i in range(self._n):
+            s0, s1 = self._core_segs[i]
+            vals = np.empty(n_active)
+            for b in range(n_active):
+                vals[b] = dot(self._w_mat[c0 + rows[b], s0:s1],
+                              factors[b, s0:s1])
+            leak[:, self._core_of[i]] = (
+                self._calib_mat[c0 + rows, i] * vals)
+        for j, (s0, s1) in enumerate(self._l2_segs):
+            size = s1 - s0
+            vals = np.empty(n_active)
+            for b in range(n_active):
+                vals[b] = add_reduce(factors[b, s0:s1])
+            leak[:, self._n_cores + j] = (
+                (self._l2_calib[c0 + rows]
+                 * self._l2_share_mat[c0 + rows, j]) * (vals / size))
+        return leak
+
+    def _fixed_point(self, c0: int, cells: np.ndarray,
+                     block_dyn: np.ndarray, vdd_cols: np.ndarray,
+                     dib_full: np.ndarray):
+        """Lockstep leakage-temperature fixed point across dies.
+
+        Identical control flow to :meth:`EvalKernel._fixed_point` —
+        per-row convergence masks, freezing, compaction, error parity
+        — with the per-die cell matrix compacted alongside the other
+        row state so a surviving die never feels its finished or
+        failed fleet neighbours.
+        """
+        n_rows = block_dyn.shape[0]
+        out_temps = np.empty((n_rows, self._n_blocks))
+        out_powers = np.empty((n_rows, self._n_blocks))
+        out_iters = np.zeros(n_rows, dtype=int)
+        row_errors: List[Optional[Exception]] = [None] * n_rows
+
+        n_cells = cells.shape[1]
+        tgat = np.empty((n_rows, n_cells))
+        tmp = np.empty((n_rows, n_cells))
+        pref = np.empty((n_rows, n_cells))
+
+        orig = np.arange(n_rows)
+        work_temps = np.full((n_rows, self._n_blocks),
+                             self._thermal.ambient_k)
+        work_dyn = block_dyn
+        work_vdd = vdd_cols
+        work_dib = dib_full
+        work_cells = cells
+
+        for iteration in range(1, MAX_ITERATIONS + 1):
+
+            def fail(bad: np.ndarray, make_error) -> bool:
+                """Record errors for ``bad`` rows, compact them away."""
+                nonlocal orig, work_temps, work_dyn, work_vdd
+                nonlocal work_dib, work_cells
+                for r in orig[bad]:
+                    row_errors[r] = make_error()
+                    out_iters[r] = iteration
+                keep = ~bad
+                orig = orig[keep]
+                work_temps = work_temps[keep]
+                work_dyn = work_dyn[keep]
+                work_vdd = work_vdd[keep]
+                work_dib = work_dib[keep]
+                work_cells = work_cells[keep]
+                return orig.size == 0
+
+            bad = (work_temps <= 0).any(axis=1)
+            if bad.any() and fail(bad, lambda: ValueError(
+                    "temperature must be positive kelvin")):
+                return out_temps, out_powers, out_iters, row_errors
+            a = work_temps.shape[0]
+            leak = self._leakage_matrix(
+                c0, orig, work_temps, work_vdd, work_dib, work_cells,
+                tgat[:a], tmp[:a], pref[:a])
+            total = work_dyn + leak
+            bad = ~np.isfinite(total).all(axis=1)
+            if bad.any():
+                keep = ~bad
+                kept_total = total[keep]
+                if fail(bad, lambda: ThermalRunawayError(
+                        "leakage diverged before the temperature did")):
+                    return out_temps, out_powers, out_iters, row_errors
+                total = kept_total
+            solved = self._thermal.solve_many(total)
+            new_temps = DAMPING * solved + (1.0 - DAMPING) * work_temps
+            bad = new_temps.max(axis=1) > RUNAWAY_TEMP_K
+            if bad.any():
+                keep = ~bad
+                kept_total = total[keep]
+                kept_new = new_temps[keep]
+                if fail(bad, lambda: ThermalRunawayError(
+                        f"block temperature exceeded {RUNAWAY_TEMP_K} K: "
+                        "the leakage-temperature loop gain is above unity "
+                        "for these power/cooling parameters")):
+                    return out_temps, out_powers, out_iters, row_errors
+                total = kept_total
+                new_temps = kept_new
+            delta = np.abs(new_temps - work_temps).max(axis=1)
+            converged = delta < DEFAULT_TOLERANCE_K
+            if converged.any():
+                done = orig[converged]
+                out_temps[done] = new_temps[converged]
+                out_powers[done] = total[converged]
+                out_iters[done] = iteration
+                keep = ~converged
+                orig = orig[keep]
+                if orig.size == 0:
+                    return out_temps, out_powers, out_iters, row_errors
+                work_temps = new_temps[keep]
+                work_dyn = work_dyn[keep]
+                work_vdd = work_vdd[keep]
+                work_dib = work_dib[keep]
+                work_cells = work_cells[keep]
             else:
                 work_temps = new_temps
         for r in orig:

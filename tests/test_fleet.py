@@ -1,0 +1,708 @@
+"""Fleet subsystem: die-batched kernel, online statistics, columnar
+shards, journaled campaigns, and the multi-host merge.
+
+The load-bearing property is *bitwise equivalence*: every die-batched
+result must equal the serial per-die loop bit for bit, every resumed
+campaign must emit byte-identical summaries, and every chunk-aligned
+multi-host merge must be indistinguishable from a single-host run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_TECH
+from repro.experiments.common import ChipFactory
+from repro.experiments.fig04_variation import (
+    core_frequency_ratio,
+    core_power_ratio,
+    die_ratios,
+)
+from repro.fleet import (
+    FLEET_ARCH,
+    FleetAccumulator,
+    FleetHistogram,
+    FleetPlan,
+    P2Quantile,
+    RunningMoments,
+    coverage_ranges,
+    fleet_die_metrics,
+    load_shard,
+    load_summary,
+    merge_campaigns,
+    missing_ranges,
+    run_fleet_campaign,
+    summarize_shards,
+    write_shard,
+)
+from repro.fleet.quantiles import exact_quantile
+from repro.fleet.shards import iter_shards, shard_name
+from repro.parallel import (
+    HostSlice,
+    IncompleteJournalError,
+    ShardManifest,
+    characterize_batch,
+    merge_journals,
+)
+from repro.parallel.journal import RunJournal
+from repro.report import binned_histogram_chart, fleet_summary_table
+from repro.runtime.evaluation import (
+    Assignment,
+    evaluate_levels,
+    evaluate_max_levels,
+)
+from repro.runtime.kernel import FleetEvalKernel
+from repro.workloads import SPEC_APPS, Workload
+
+
+@pytest.fixture(scope="module")
+def fleet_chips():
+    """18 characterised fleet-arch dies (crosses the 16-row slab)."""
+    return characterize_batch(DEFAULT_TECH, FLEET_ARCH, 7,
+                              list(range(18)), workers=1, cache=None)
+
+
+@pytest.fixture(scope="module")
+def fleet_workload():
+    apps = (SPEC_APPS[0], SPEC_APPS[2], SPEC_APPS[4])
+    return Workload(apps), Assignment(core_of=(0, 1, 3))
+
+
+def assert_state_equal(a, b):
+    """Bitwise SystemState equality (exact, not approximate)."""
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), f.name
+        else:
+            assert va == vb, f.name
+
+
+class TestFleetKernel:
+    """FleetEvalKernel is bitwise the serial per-die loop."""
+
+    @pytest.mark.parametrize("n_dies", [1, 5, 18])
+    def test_max_levels_bitwise(self, fleet_chips, fleet_workload,
+                                n_dies):
+        workload, assignment = fleet_workload
+        chips = fleet_chips[:n_dies]
+        kernel = FleetEvalKernel(chips, workload, assignment)
+        states = kernel.evaluate_max_levels_fleet()
+        assert kernel.n_dies == n_dies and len(states) == n_dies
+        for chip, state in zip(chips, states):
+            serial = evaluate_max_levels(chip, workload, assignment)
+            assert_state_equal(state, serial)
+
+    @pytest.mark.parametrize("n_dies", [1, 5, 18])
+    def test_shared_decision_bitwise(self, fleet_chips,
+                                     fleet_workload, n_dies):
+        workload, assignment = fleet_workload
+        chips = fleet_chips[:n_dies]
+        levels = (1, 0, 2)
+        kernel = FleetEvalKernel(chips, workload, assignment)
+        states = kernel.evaluate_levels_fleet(levels)
+        for chip, state in zip(chips, states):
+            serial = evaluate_levels(chip, workload, assignment,
+                                     levels)
+            assert_state_equal(state, serial)
+
+    def test_per_die_levels_bitwise(self, fleet_chips, fleet_workload):
+        workload, assignment = fleet_workload
+        chips = fleet_chips
+        rng = np.random.default_rng(11)
+        kernel = FleetEvalKernel(chips, workload, assignment)
+        lv = rng.integers(0, 3, size=(len(chips), 3))
+        states = kernel.evaluate_levels_fleet(lv)
+        for k, (chip, state) in enumerate(zip(chips, states)):
+            serial = evaluate_levels(chip, workload, assignment,
+                                     lv[k])
+            assert_state_equal(state, serial)
+
+    def test_broadcast_equals_tiled(self, fleet_chips, fleet_workload):
+        workload, assignment = fleet_workload
+        kernel = FleetEvalKernel(fleet_chips[:4], workload, assignment)
+        a = kernel.evaluate_levels_fleet((2, 1, 0))
+        b = kernel.evaluate_levels_fleet(
+            np.tile([2, 1, 0], (4, 1)))
+        for sa, sb in zip(a, b):
+            assert_state_equal(sa, sb)
+
+    def test_rejects_mixed_designs(self, fleet_chips, fleet_workload,
+                                   small_chip):
+        workload, assignment = fleet_workload
+        with pytest.raises(ValueError, match="share TechParams"):
+            FleetEvalKernel([fleet_chips[0], small_chip], workload,
+                            assignment)
+
+    def test_rejects_bad_levels(self, fleet_chips, fleet_workload):
+        workload, assignment = fleet_workload
+        kernel = FleetEvalKernel(fleet_chips[:2], workload, assignment)
+        with pytest.raises(ValueError, match="out of range"):
+            kernel.evaluate_levels_fleet((0, 0, 99))
+        with pytest.raises(ValueError, match="one level per thread"):
+            kernel.evaluate_levels_fleet((0, 0))
+
+    def test_fig04_metrics_bitwise(self, fleet_chips):
+        """The campaign's per-die analysis equals the serial fig04
+        functions exactly — the property the rewired experiments
+        lean on."""
+        chips = fleet_chips[:6]
+        cols = fleet_die_metrics(chips, with_power=True)
+        for chip, p, f in zip(chips, cols["power_ratio"],
+                              cols["freq_ratio"]):
+            assert float(p) == core_power_ratio(chip)
+            assert float(f) == core_frequency_ratio(chip)
+
+    def test_die_ratios_serial_path_bitwise(self):
+        factory = ChipFactory(tech=DEFAULT_TECH, arch=FLEET_ARCH,
+                              seed=3, workers=1)
+        pairs = die_ratios(4, factory=factory, workers=1)
+        for chip, (p, f) in zip(factory.chips(4), pairs):
+            assert p == core_power_ratio(chip)
+            assert f == core_frequency_ratio(chip)
+
+
+class TestRunningMoments:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(3.0, 2.0, size=1000)
+        mom = RunningMoments()
+        for part in np.array_split(data, 7):
+            mom.add(part)
+        assert mom.count == 1000
+        assert mom.mean == pytest.approx(data.mean(), rel=1e-12)
+        assert mom.std == pytest.approx(data.std(), rel=1e-12)
+        assert mom.min == data.min() and mom.max == data.max()
+
+    def test_merge_matches_single_stream(self, rng):
+        data = rng.normal(size=500)
+        whole = RunningMoments()
+        whole.add(data)
+        merged = RunningMoments()
+        for part in np.array_split(data, 5):
+            other = RunningMoments()
+            other.add(part)
+            merged.merge(other)
+        assert merged.count == whole.count
+        assert merged.min == whole.min and merged.max == whole.max
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.std == pytest.approx(whole.std, rel=1e-12)
+
+    def test_rejects_nonfinite(self):
+        mom = RunningMoments()
+        with pytest.raises(ValueError, match="non-finite"):
+            mom.add([1.0, math.nan])
+        with pytest.raises(ValueError, match="non-finite"):
+            mom.add(math.inf)
+        assert mom.count == 0
+
+    def test_roundtrip(self, rng):
+        mom = RunningMoments()
+        mom.add(rng.normal(size=64))
+        back = RunningMoments.from_dict(
+            json.loads(json.dumps(mom.to_dict())))
+        assert back.to_dict() == mom.to_dict()
+        assert back.mean == mom.mean and back.std == mom.std
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        est = P2Quantile(0.5)
+        est.add([3.0, 1.0, 2.0])
+        assert est.value == exact_quantile([1.0, 2.0, 3.0], 0.5)
+
+    @pytest.mark.parametrize("p", [0.05, 0.5, 0.95])
+    def test_tracks_exact_quantile(self, rng, p):
+        data = rng.normal(0.0, 1.0, size=5000)
+        est = P2Quantile(p)
+        est.add(data)
+        assert est.count == 5000
+        assert abs(est.value - exact_quantile(data, p)) < 0.06
+
+    def test_rejects_nonfinite_and_bad_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        est = P2Quantile(0.5)
+        with pytest.raises(ValueError, match="non-finite"):
+            est.add([math.nan])
+
+    def test_roundtrip(self, rng):
+        est = P2Quantile(0.9)
+        est.add(rng.normal(size=100))
+        back = P2Quantile.from_dict(
+            json.loads(json.dumps(est.to_dict())))
+        assert back.value == est.value
+        back.add([0.5])
+        est.add([0.5])
+        assert back.value == est.value
+
+
+class TestFleetHistogram:
+    def test_counts_and_overflow(self):
+        hist = FleetHistogram(0.0, 10.0, n_bins=10)
+        hist.add([-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0])
+        assert hist.underflow == 1 and hist.overflow == 2
+        assert hist.count == 7
+        assert hist.counts[0] == 2 and hist.counts[5] == 1
+
+    def test_merge_exactly_associative(self, rng):
+        data = rng.uniform(0.8, 4.2, size=900)
+        parts = np.array_split(data, 9)
+
+        def hist_of(chunks):
+            h = FleetHistogram(1.0, 4.0, n_bins=32)
+            for c in chunks:
+                h.add(c)
+            return h
+
+        whole = hist_of(parts)
+        # Two different merge groupings of per-part histograms.
+        left = hist_of([])
+        for part in parts:
+            left.merge(hist_of([part]))
+        paired = hist_of([])
+        for i in range(0, 9, 3):
+            paired.merge(hist_of(parts[i:i + 3]))
+        for h in (left, paired):
+            assert np.array_equal(h.counts, whole.counts)
+            assert h.underflow == whole.underflow
+            assert h.overflow == whole.overflow
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(ValueError, match="bin layouts"):
+            FleetHistogram(0, 1, 8).merge(FleetHistogram(0, 1, 4))
+
+    def test_quantile_interpolation(self, rng):
+        data = rng.uniform(1.0, 3.0, size=20000)
+        hist = FleetHistogram(1.0, 3.0, n_bins=128)
+        hist.add(data)
+        for q in (0.05, 0.5, 0.95):
+            assert abs(hist.quantile(q)
+                       - exact_quantile(data, q)) < 0.05
+
+    def test_quantile_refuses_overflow_mass(self):
+        hist = FleetHistogram(0.0, 1.0, n_bins=4)
+        hist.add([0.5, 2.0, 3.0])
+        with pytest.raises(ValueError, match="overflow"):
+            hist.quantile(0.99)
+
+    def test_rejects_nonfinite(self):
+        hist = FleetHistogram(0.0, 1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            hist.add([0.5, math.inf])
+
+
+class TestFleetAccumulator:
+    SPEC = {"x": (0.0, 10.0)}
+
+    def test_streaming_matches_exact(self, rng):
+        data = rng.uniform(1.0, 9.0, size=4000)
+        acc = FleetAccumulator(self.SPEC, n_bins=256)
+        for part in np.array_split(data, 13):
+            acc.add_dies({"x": part, "ignored": part})
+        s = acc.summary()["x"]
+        assert s["count"] == 4000
+        assert s["mean"] == pytest.approx(data.mean(), rel=1e-12)
+        assert s["min"] == data.min() and s["max"] == data.max()
+        for name, p in (("p05", 0.05), ("p50", 0.5), ("p95", 0.95)):
+            assert abs(s["quantiles"][name]
+                       - exact_quantile(data, p)) < 0.06
+
+    def test_merge_drops_p2_keeps_histogram_quantiles(self, rng):
+        data = rng.uniform(1.0, 9.0, size=2000)
+        whole = FleetAccumulator(self.SPEC, n_bins=256)
+        whole.add("x", data)
+        merged = FleetAccumulator(self.SPEC, n_bins=256)
+        for part in np.array_split(data, 4):
+            other = FleetAccumulator(self.SPEC, n_bins=256)
+            other.add("x", part)
+            merged.merge(other)
+        assert merged.p2["x"] == {}
+        sm, sw = merged.summary()["x"], whole.summary()["x"]
+        assert sm["count"] == sw["count"]
+        assert np.array_equal(sm["histogram"]["counts"],
+                              sw["histogram"]["counts"])
+        # Merged quantiles come from the (exactly merged) histogram.
+        assert abs(sm["quantiles"]["p50"]
+                   - exact_quantile(data, 0.5)) < 0.06
+
+    def test_merge_rejects_spec_mismatch(self):
+        a = FleetAccumulator({"x": (0, 1)})
+        b = FleetAccumulator({"y": (0, 1)})
+        with pytest.raises(ValueError, match="metric specs"):
+            a.merge(b)
+
+    def test_roundtrip_resumes_stream(self, rng):
+        acc = FleetAccumulator(self.SPEC)
+        acc.add("x", rng.uniform(0, 10, size=50))
+        back = FleetAccumulator.from_dict(
+            json.loads(json.dumps(acc.to_dict())))
+        assert back.summary() == acc.summary()
+        tail = rng.uniform(0, 10, size=50)
+        acc.add("x", tail)
+        back.add("x", tail)
+        assert back.summary() == acc.summary()
+
+
+class TestShards:
+    def test_roundtrip_and_die_column(self, tmp_path, rng):
+        cols = {"a": rng.normal(size=8), "b": np.arange(8.0)}
+        path = write_shard(tmp_path, 16, 24, cols)
+        assert path.name == shard_name(16, 24)
+        back = load_shard(path)
+        assert np.array_equal(back["die"], np.arange(16, 24))
+        assert np.array_equal(back["a"], cols["a"])
+        assert np.array_equal(back["b"], cols["b"])
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="expected"):
+            write_shard(tmp_path, 0, 4, {"a": np.zeros(3)})
+        with pytest.raises(ValueError, match="implicit index"):
+            write_shard(tmp_path, 0, 4, {"die": np.zeros(4)})
+        with pytest.raises(ValueError):
+            shard_name(4, 4)
+
+    def test_coverage_and_gaps(self, tmp_path):
+        for lo, hi in ((0, 4), (4, 8), (12, 16)):
+            write_shard(tmp_path, lo, hi, {"a": np.zeros(hi - lo)})
+        assert coverage_ranges(tmp_path) == [(0, 8), (12, 16)]
+        assert missing_ranges(tmp_path, 0, 20) == [(8, 12), (16, 20)]
+        assert missing_ranges(tmp_path, 0, 8) == []
+        assert [(i.start, i.end) for i in iter_shards(tmp_path)] == [
+            (0, 4), (4, 8), (12, 16)]
+
+    def test_overlap_refused(self, tmp_path):
+        write_shard(tmp_path, 0, 8, {"a": np.zeros(8)})
+        write_shard(tmp_path, 4, 12, {"a": np.zeros(8)})
+        with pytest.raises(ValueError, match="overlapping"):
+            coverage_ranges(tmp_path)
+
+
+def _tiny_plan(name, n_dies=8, **kw):
+    kw.setdefault("chunk_dies", 4)
+    kw.setdefault("seed", 5)
+    return FleetPlan(name=name, n_dies=n_dies, **kw)
+
+
+class TestCampaign:
+    def test_run_streams_shards_and_summary(self, tmp_path):
+        plan = _tiny_plan("camp")
+        result = run_fleet_campaign(plan, tmp_path, workers=1)
+        assert result.n_chunks == 2 and result.resumed_chunks == 0
+        assert coverage_ranges(result.out_dir / "shards") == [(0, 8)]
+        summary = load_summary(result.out_dir)
+        assert summary["metrics"]["power_ratio"]["count"] == 8
+        assert summary["metrics"]["freq_ratio"]["count"] == 8
+        assert summary["plan"]["name"] == "camp"
+        # Shard contents equal the serial fig04 analysis per die.
+        chips = characterize_batch(plan.tech, plan.arch, plan.seed,
+                                   list(range(4)), workers=1,
+                                   cache=None)
+        shard = load_shard(result.out_dir / "shards"
+                           / shard_name(0, 4))
+        for chip, p in zip(chips, shard["power_ratio"]):
+            assert float(p) == core_power_ratio(chip)
+
+    def test_resume_is_bitwise(self, tmp_path):
+        plan = _tiny_plan("resume")
+        first = run_fleet_campaign(plan, tmp_path, workers=1)
+        summary_bytes = first.summary_path.read_bytes()
+        shards = {i.path.name: load_shard(i.path)
+                  for i in iter_shards(first.out_dir / "shards")}
+
+        # Full resume: everything replays from the journal.
+        again = run_fleet_campaign(plan, tmp_path, workers=1)
+        assert again.resumed_chunks == again.n_chunks == 2
+        assert again.summary_path.read_bytes() == summary_bytes
+
+        # Interrupted run: keep only the first chunk's journal line,
+        # drop the shards — the tail recomputes, the head replays,
+        # and everything is bitwise what the uninterrupted run wrote.
+        journal_path = first.out_dir / "journal.jsonl"
+        lines = journal_path.read_bytes().splitlines(keepends=True)
+        unit_lines = [ln for ln in lines
+                      if json.loads(ln).get("kind") == "unit"]
+        journal_path.write_bytes(unit_lines[0])
+        for info in iter_shards(first.out_dir / "shards"):
+            info.path.unlink()
+        resumed = run_fleet_campaign(plan, tmp_path, workers=1)
+        assert resumed.resumed_chunks == 1
+        assert resumed.summary_path.read_bytes() == summary_bytes
+        for info in iter_shards(resumed.out_dir / "shards"):
+            back = load_shard(info.path)
+            ref = shards[info.path.name]
+            assert set(back) == set(ref)
+            for k in back:
+                assert np.array_equal(back[k], ref[k])
+
+    def test_summarize_shards_matches_summary(self, tmp_path):
+        plan = _tiny_plan("stats", with_power=False)
+        result = run_fleet_campaign(plan, tmp_path, workers=1)
+        acc = summarize_shards(result.out_dir / "shards",
+                               plan.metric_spec())
+        assert (acc.summary()["freq_ratio"]["histogram"]
+                == load_summary(result.out_dir)["metrics"]
+                ["freq_ratio"]["histogram"])
+
+    def test_chunks_align_to_global_grid(self):
+        plan = FleetPlan(name="g", n_dies=10, start=6, chunk_dies=4)
+        assert plan.chunks() == [(6, 8), (8, 12), (12, 16)]
+        full = FleetPlan(name="g", n_dies=16, chunk_dies=4)
+        assert full.chunks() == [(0, 4), (4, 8), (8, 12), (12, 16)]
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FleetPlan(name="x", n_dies=0)
+        with pytest.raises(ValueError):
+            FleetPlan(name="a/b", n_dies=4)
+        with pytest.raises(ValueError):
+            FleetPlan(name="x", n_dies=4, start=-1)
+
+
+class TestMultiHost:
+    def test_partition_tiles_and_aligns(self):
+        plan = _tiny_plan("part", n_dies=24)
+        manifest = ShardManifest.partition(plan.to_dict(),
+                                           ["a", "b", "c"])
+        assert [h.to_dict() for h in manifest.hosts] == [
+            {"host": "a", "start": 0, "end": 8},
+            {"host": "b", "start": 8, "end": 16},
+            {"host": "c", "start": 16, "end": 24}]
+        sub = FleetPlan.from_dict(manifest.host_plan_params("b"))
+        assert (sub.start, sub.n_dies) == (8, 8)
+        assert sub.chunks() == [(8, 12), (12, 16)]
+
+    def test_manifest_validation(self):
+        params = _tiny_plan("v", n_dies=8).to_dict()
+        with pytest.raises(ValueError, match="tile the range"):
+            ShardManifest(params, (HostSlice("a", 0, 4),
+                                   HostSlice("b", 6, 8)))
+        with pytest.raises(ValueError, match="unique"):
+            ShardManifest(params, (HostSlice("a", 0, 4),
+                                   HostSlice("a", 4, 8)))
+        with pytest.raises(ValueError, match="cover up to"):
+            ShardManifest(params, (HostSlice("a", 0, 4),))
+
+    def test_merge_equals_single_host(self, tmp_path):
+        plan = _tiny_plan("multi", n_dies=12)
+        single = run_fleet_campaign(plan, tmp_path / "single",
+                                    workers=1)
+        manifest = ShardManifest.partition(plan.to_dict(), ["a", "b"])
+        host_dirs = []
+        for host in ("a", "b"):
+            sub = FleetPlan.from_dict(manifest.host_plan_params(host))
+            res = run_fleet_campaign(sub, tmp_path / host, workers=1)
+            host_dirs.append(res.out_dir)
+        merged = merge_campaigns(manifest, host_dirs,
+                                 tmp_path / "merged")
+        assert (merged.summary_path.read_bytes()
+                == single.summary_path.read_bytes())
+        singles = {i.path.name: load_shard(i.path)
+                   for i in iter_shards(single.out_dir / "shards")}
+        merged_shards = list(iter_shards(merged.out_dir / "shards"))
+        assert {i.path.name for i in merged_shards} == set(singles)
+        for info in merged_shards:
+            ref = singles[info.path.name]
+            back = load_shard(info.path)
+            for k in ref:
+                assert np.array_equal(back[k], ref[k])
+
+    def test_merge_requires_completeness(self, tmp_path):
+        plan = _tiny_plan("gap", n_dies=12, with_power=False)
+        manifest = ShardManifest.partition(plan.to_dict(), ["a", "b"])
+        sub = FleetPlan.from_dict(manifest.host_plan_params("a"))
+        res = run_fleet_campaign(sub, tmp_path / "a", workers=1)
+        with pytest.raises(IncompleteJournalError):
+            merge_campaigns(manifest, [res.out_dir],
+                            tmp_path / "merged")
+        partial = merge_campaigns(manifest, [res.out_dir],
+                                  tmp_path / "partial",
+                                  require_complete=False)
+        assert partial.n_dies == 8  # best-effort: host a's slice only
+        summary = load_summary(partial.out_dir)
+        assert summary["metrics"]["freq_ratio"]["count"] == 8
+
+    def test_merge_journals_conflict_refused(self, tmp_path):
+        a = RunJournal(tmp_path / "a.jsonl")
+        b = RunJournal(tmp_path / "b.jsonl")
+        a.record("k1", {}, [1.0, 2.0])
+        b.record("k1", {}, [1.0, 999.0])
+        dest = RunJournal(tmp_path / "dest.jsonl")
+        assert merge_journals(dest, [a.path]) == 1
+        with pytest.raises(ValueError, match="merge conflict"):
+            merge_journals(dest, [b.path])
+        # Idempotent replays are fine.
+        assert merge_journals(dest, [a.path]) == 0
+
+
+class TestFleetReport:
+    def test_binned_histogram_chart(self):
+        chart = binned_histogram_chart(
+            np.linspace(0, 1, 9), [0, 0, 3, 5, 0, 2, 0, 0],
+            title="t", underflow=1, overflow=2)
+        assert "t" in chart and "< 0.25" in chart and ">= 0.75" in chart
+        with pytest.raises(ValueError):
+            binned_histogram_chart([0, 1], [1, 2])
+
+    def test_fleet_summary_table(self, tmp_path):
+        plan = _tiny_plan("report", n_dies=4, with_power=False)
+        result = run_fleet_campaign(plan, tmp_path, workers=1)
+        text = fleet_summary_table(load_summary(result.out_dir))
+        assert "freq_ratio" in text and "p50" in text
+        assert "report" in text
+
+
+class TestFleetCLI:
+    def test_plan_run_merge_stats(self, tmp_path, capsys):
+        from repro.cli import main
+        manifest_path = tmp_path / "fleet.json"
+        assert main(["fleet", "plan", "--name", "cli", "--dies", "8",
+                     "--chunk", "4", "--seed", "5", "--no-power",
+                     "--hosts", "a,b",
+                     "--manifest", str(manifest_path)]) == 0
+        manifest = ShardManifest.load(manifest_path)
+        assert [h.host for h in manifest.hosts] == ["a", "b"]
+
+        for host in ("a", "b"):
+            assert main(["fleet", "run", "--manifest",
+                         str(manifest_path), "--host", host,
+                         "--out", str(tmp_path / host),
+                         "--quiet"]) == 0
+
+        # Merge with a missing host refuses (exit 1)...
+        assert main(["fleet", "merge", str(tmp_path / "a" / "cli"),
+                     "--manifest", str(manifest_path),
+                     "--out", str(tmp_path / "merged")]) == 1
+        # ...and succeeds with both hosts present.
+        assert main(["fleet", "merge",
+                     str(tmp_path / "a" / "cli"),
+                     str(tmp_path / "b" / "cli"),
+                     "--manifest", str(manifest_path),
+                     "--out", str(tmp_path / "merged")]) == 0
+        summary = load_summary(tmp_path / "merged" / "cli")
+        assert summary["metrics"]["freq_ratio"]["count"] == 8
+
+        assert main(["fleet", "stats",
+                     str(tmp_path / "merged" / "cli")]) == 0
+        assert main(["fleet", "stats", "--from-shards",
+                     str(tmp_path / "merged" / "cli")]) == 0
+        out = capsys.readouterr().out
+        assert "freq_ratio" in out
+
+    def test_run_direct(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["fleet", "run", "--name", "direct", "--dies",
+                     "4", "--chunk", "2", "--seed", "5", "--no-power",
+                     "--out", str(tmp_path), "--quiet"]) == 0
+        assert "dies/s" in capsys.readouterr().out
+        assert (tmp_path / "direct" / "summary.json").exists()
+
+
+class TestPerfGateFleet:
+    """Regression coverage for the gate's failure modes and the CI
+    step-summary surface."""
+
+    @pytest.fixture()
+    def gate(self):
+        import importlib.util
+        import pathlib
+        path = (pathlib.Path(__file__).parent.parent / "benchmarks"
+                / "perf_gate.py")
+        spec = importlib.util.spec_from_file_location("perf_gate_f",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _write(self, results, name, metrics, floors=None, wall=1.0):
+        record = {"name": name, "full_run": False, "workers": 1,
+                  "wall_time_s": wall, "cache": None,
+                  "metrics": metrics}
+        if floors is not None:
+            record["floors"] = floors
+        (results / f"BENCH_{name}.json").write_text(
+            json.dumps(record))
+        return record
+
+    @pytest.fixture()
+    def env(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        baseline = tmp_path / "baseline.json"
+        argv = ["--results", str(results), "--baseline",
+                str(baseline)]
+        return results, baseline, argv
+
+    def test_nameless_record_fails_clearly(self, gate, env):
+        results, baseline, argv = env
+        (results / "BENCH_x.json").write_text(json.dumps({"metrics": {}}))
+        with pytest.raises(SystemExit, match="no 'name' field"):
+            gate.main(["check"] + argv)
+
+    def test_invalid_json_fails_clearly(self, gate, env):
+        results, baseline, argv = env
+        (results / "BENCH_x.json").write_text("{nope")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            gate.main(["check"] + argv)
+
+    def test_record_metric_missing_from_baseline_is_warning(
+            self, gate, env):
+        """The KeyError fix: a record emitting a metric the baseline
+        has never seen must warn, not crash."""
+        results, baseline, argv = env
+        self._write(results, "figX", {"a": 1.0})
+        assert gate.main(["update"] + argv) == 0
+        self._write(results, "figX", {"a": 1.0, "brand_new": 2.0})
+        assert gate.main(["check"] + argv) == 0
+
+    def test_unbaselined_floors_enforced(self, gate, env):
+        results, baseline, argv = env
+        baseline.write_text("{}")
+        self._write(results, "fleet", {"dies_per_s": 50.0},
+                    floors={"dies_per_s": 12.0})
+        assert gate.main(["check"] + argv) == 0
+        self._write(results, "fleet", {"dies_per_s": 3.0},
+                    floors={"dies_per_s": 12.0})
+        assert gate.main(["check"] + argv) == 1
+        self._write(results, "fleet", {"other": 1.0},
+                    floors={"dies_per_s": 12.0})
+        assert gate.main(["check"] + argv) == 1
+
+    def test_step_summary_written(self, gate, env, tmp_path,
+                                  monkeypatch):
+        results, baseline, argv = env
+        self._write(results, "figX", {"a": 1.0},
+                    floors={"rate_s": 1.0})
+        (results / "BENCH_figX.json").write_text(json.dumps(
+            {"name": "figX", "full_run": False, "workers": 1,
+             "wall_time_s": 1.0, "cache": None,
+             "metrics": {"a": 1.0, "rate_s": 5.0},
+             "floors": {"rate_s": 1.0}}))
+        assert gate.main(["update"] + argv) == 0
+        summary_file = tmp_path / "step_summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_file))
+        self._write(results, "figX", {"a": 9.0, "rate_s": 5.0},
+                    floors={"rate_s": 1.0})
+        assert gate.main(["check"] + argv) == 1
+        text = summary_file.read_text()
+        assert "## Perf gate" in text and "**FAIL**" in text
+        assert "DRIFT" in text  # per-metric delta table rendered
+        assert "rate_s" in text  # floors column rendered
+
+    def test_step_summary_pass_renders_floors(self, gate, env,
+                                              tmp_path, monkeypatch):
+        results, baseline, argv = env
+        baseline.write_text("{}")
+        self._write(results, "fleet", {"dies_per_s": 50.0},
+                    floors={"dies_per_s": 12.0})
+        summary_file = tmp_path / "sum.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_file))
+        assert gate.main(["check"] + argv) == 0
+        text = summary_file.read_text()
+        assert "**PASS**" in text
+        assert "(not baselined)" in text
+        assert "dies_per_s 50" in text
