@@ -42,7 +42,7 @@ from repro.fleet import (  # noqa: E402
     run_fleet_campaign,
 )
 
-DIES_PER_S_FLOOR = 12.0
+DIES_PER_S_FLOOR = 18.0
 
 
 def count_journal_units(journal: pathlib.Path) -> int:

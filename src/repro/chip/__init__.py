@@ -1,5 +1,12 @@
 """Die characterisation: manufacturer binning of variation-affected dies."""
 
 from .characterize import ChipProfile, CoreDescriptor, characterize_die
+from .batch import CharacterizationKernel, characterize_dies
 
-__all__ = ["ChipProfile", "CoreDescriptor", "characterize_die"]
+__all__ = [
+    "CharacterizationKernel",
+    "ChipProfile",
+    "CoreDescriptor",
+    "characterize_die",
+    "characterize_dies",
+]

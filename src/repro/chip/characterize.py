@@ -10,7 +10,6 @@ the scheduling and power-management algorithms are allowed to see.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
@@ -82,13 +81,32 @@ class ChipProfile:
 
     @property
     def fmax_array(self) -> np.ndarray:
-        """Rated fmax of every core (Hz)."""
-        return np.array([c.fmax for c in self.cores])
+        """Rated fmax of every core (Hz).
+
+        The cores are immutable, so the array is built once and cached
+        (fleet analysis stacks it per die per chunk, and every
+        scheduling policy ranks on it). The cached array is read-only
+        so one caller cannot corrupt another's view.
+        """
+        cached = getattr(self, "_fmax_array", None)
+        if cached is None:
+            cached = np.array([c.fmax for c in self.cores])
+            cached.setflags(write=False)
+            object.__setattr__(self, "_fmax_array", cached)
+        return cached
 
     @property
     def static_rated_array(self) -> np.ndarray:
-        """Rated static power of every core (W)."""
-        return np.array([c.static_power_rated for c in self.cores])
+        """Rated static power of every core (W).
+
+        Cached read-only, like :attr:`fmax_array`.
+        """
+        cached = getattr(self, "_static_rated_array", None)
+        if cached is None:
+            cached = np.array([c.static_power_rated for c in self.cores])
+            cached.setflags(write=False)
+            object.__setattr__(self, "_static_rated_array", cached)
+        return cached
 
     @property
     def min_fmax(self) -> float:

@@ -66,17 +66,24 @@ class ChipFactory:
             via ``--no-cache`` / ``REPRO_NO_CACHE``), ``None``
             (disabled), or an explicit
             :class:`~repro.parallel.CharacterizationCache`.
+        batched: Whether cache misses use the die-batched
+            characterisation kernel. ``None`` defers to the
+            process-wide default (``REPRO_BATCH_CHAR`` /
+            ``parallel_config``; default on). Bitwise-identical to
+            the serial loop either way.
     """
 
     def __init__(self, tech: TechParams = DEFAULT_TECH,
                  arch: ArchConfig = DEFAULT_ARCH, seed: int = 0,
                  workers: Optional[int] = None,
-                 cache: CacheArg = "auto") -> None:
+                 cache: CacheArg = "auto",
+                 batched: Optional[bool] = None) -> None:
         self.tech = tech
         self.arch = arch
         self.seed = seed
         self.workers = workers
         self.cache = cache
+        self.batched = batched
         self.floorplan: Floorplan = build_floorplan(arch)
         self.thermal = ThermalNetwork(self.floorplan)
         self._chips: Dict[int, ChipProfile] = {}
@@ -85,7 +92,8 @@ class ChipFactory:
         profiles = characterize_batch(
             self.tech, self.arch, self.seed, die_indices,
             workers=self.workers, cache=self.cache,
-            floorplan=self.floorplan, thermal=self.thermal)
+            floorplan=self.floorplan, thermal=self.thermal,
+            batched=self.batched)
         self._chips.update(zip(die_indices, profiles))
 
     def chip(self, die_index: int, n_dies_hint: int = 1) -> ChipProfile:
@@ -132,7 +140,8 @@ class ChipFactory:
                 self.tech, self.arch, self.seed,
                 indices[lo:lo + chunk_dies],
                 workers=self.workers, cache=self.cache,
-                floorplan=self.floorplan, thermal=self.thermal)
+                floorplan=self.floorplan, thermal=self.thermal,
+                batched=self.batched)
 
 
 def campaign_journal(experiment: Optional[str]) -> Optional[RunJournal]:

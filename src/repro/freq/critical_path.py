@@ -53,17 +53,23 @@ class PathSet:
 
 
 def pareto_prune(paths: PathSet) -> PathSet:
-    """Keep only paths not dominated in (Vth, Leff) by another path."""
+    """Keep only paths not dominated in (Vth, Leff) by another path.
+
+    Scanning in descending Vth order, a path survives iff its Leff
+    strictly exceeds every Leff seen so far — i.e. the running maximum
+    of the sorted Leff sequence. The scan is vectorised as a
+    ``np.maximum.accumulate`` keep-mask; this sits once per
+    (die, core) inside characterisation, so the Python per-path loop
+    it replaces was measurable at fleet scale.
+    """
     order = np.argsort(paths.vth)[::-1]
     vth = paths.vth[order]
     leff = paths.leff[order]
-    keep = []
-    best_leff = -np.inf
-    for i in range(vth.size):
-        if leff[i] > best_leff:
-            keep.append(i)
-            best_leff = leff[i]
-    idx = np.array(keep, dtype=int)
+    keep = np.empty(leff.size, dtype=bool)
+    keep[0] = True
+    if leff.size > 1:
+        keep[1:] = leff[1:] > np.maximum.accumulate(leff)[:-1]
+    idx = np.flatnonzero(keep)
     return PathSet(vth=vth[idx], leff=leff[idx])
 
 

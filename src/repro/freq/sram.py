@@ -15,6 +15,8 @@ grid cell's systematic component.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 from scipy import stats
 
@@ -26,12 +28,15 @@ from .alpha_power import gate_delay
 SRAM_CELLS_PER_PATH = 4096
 
 
+@lru_cache(maxsize=None)
 def worst_cell_quantile(n_cells: int = SRAM_CELLS_PER_PATH) -> float:
     """Expected standardised maximum of ``n_cells`` Gaussian draws.
 
     Uses the standard extreme-value approximation
     ``E[max] ~= Phi^-1(1 - 1/(n+1))`` which is accurate to a few percent
-    for the n we care about.
+    for the n we care about. The quantile is a pure function of
+    ``n_cells`` yet sits inside every per-(die, core) path extraction,
+    so the ``scipy`` ``ppf`` evaluation is memoised.
     """
     if n_cells < 1:
         raise ValueError("n_cells must be at least 1")

@@ -40,7 +40,9 @@ from .manifest import HostSlice, ShardManifest
 from .runner import (
     characterize_batch,
     parallel_config,
+    resolve_batched_characterization,
     resolve_workers,
+    set_batched_characterization,
     set_default_workers,
 )
 from .sharding import (
@@ -81,12 +83,14 @@ __all__ = [
     "profile_from_payload",
     "profile_payload",
     "reset_run_health",
+    "resolve_batched_characterization",
     "resolve_shard_backoff",
     "resolve_shard_retries",
     "resolve_shard_timeout",
     "resolve_workers",
     "resume_enabled",
     "run_sharded",
+    "set_batched_characterization",
     "set_cache_enabled",
     "set_cache_root",
     "set_default_workers",

@@ -25,7 +25,7 @@ import os
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..chip import ChipProfile, characterize_die
+from ..chip import ChipProfile, characterize_die, characterize_dies
 from ..config import ArchConfig, TechParams
 from ..floorplan import Floorplan, build_floorplan
 from ..thermal import ThermalNetwork
@@ -75,6 +75,39 @@ def set_default_workers(workers: Optional[int]) -> None:
     _default_workers = max(1, int(workers)) if workers is not None else None
 
 
+_batched_characterization_override: Optional[bool] = None
+
+
+def resolve_batched_characterization(batched: Optional[bool] = None) -> bool:
+    """Whether cache misses use the die-batched characterisation kernel.
+
+    Priority: the explicit argument,
+    :func:`set_batched_characterization` (the ``parallel_config``
+    override), the ``REPRO_BATCH_CHAR`` environment variable, then the
+    default **on**. The batched kernel is bitwise-identical to the
+    serial loop (property-tested), so this knob only selects a speed
+    path; ``REPRO_BATCH_CHAR=0`` forces the serial reference.
+    """
+    if batched is not None:
+        return bool(batched)
+    if _batched_characterization_override is not None:
+        return _batched_characterization_override
+    env = os.environ.get("REPRO_BATCH_CHAR", "")
+    if env:
+        return env.strip().lower() not in ("0", "false", "no", "off")
+    return True
+
+
+def set_batched_characterization(batched: Optional[bool]) -> None:
+    """Set the process-wide batched-characterisation default.
+
+    ``None`` restores env/default resolution.
+    """
+    global _batched_characterization_override
+    _batched_characterization_override = (
+        bool(batched) if batched is not None else None)
+
+
 @contextmanager
 def parallel_config(workers: Optional[int] = None,
                     cache_enabled: Optional[bool] = None,
@@ -82,7 +115,8 @@ def parallel_config(workers: Optional[int] = None,
                     resume: Optional[bool] = None,
                     journal_root=None,
                     shard_retries: Optional[int] = None,
-                    shard_backoff_s: Optional[float] = None):
+                    shard_backoff_s: Optional[float] = None,
+                    batched_characterization: Optional[bool] = None):
     """Temporarily override the process-wide parallel/cache defaults.
 
     Used by the CLI (for the lifetime of a run) and by benchmarks and
@@ -96,6 +130,10 @@ def parallel_config(workers: Optional[int] = None,
     ``REPRO_SHARD_BACKOFF_S``). Neither changes *which* results come
     back — recovery merges bitwise-identically — only how patient the
     coordinator is before narrowing a shard.
+    ``batched_characterization`` selects the die-batched
+    characterisation kernel vs the serial per-die loop for cache
+    misses (bitwise-identical either way; see
+    :func:`resolve_batched_characterization`).
 
     Every override is restored through its setter — never by poking
     the module globals — so any invariant a setter maintains (now or
@@ -108,6 +146,7 @@ def parallel_config(workers: Optional[int] = None,
     prev_journal_root = _journal_mod._journal_root_override
     prev_retries = _sharding_mod._shard_retries_override
     prev_backoff = _sharding_mod._shard_backoff_override
+    prev_batched = _batched_characterization_override
     try:
         if workers is not None:
             set_default_workers(workers)
@@ -123,8 +162,11 @@ def parallel_config(workers: Optional[int] = None,
             _sharding_mod.set_shard_retries(shard_retries)
         if shard_backoff_s is not None:
             _sharding_mod.set_shard_backoff(shard_backoff_s)
+        if batched_characterization is not None:
+            set_batched_characterization(batched_characterization)
         yield
     finally:
+        set_batched_characterization(prev_batched)
         set_default_workers(prev_workers)
         _cache_mod.set_cache_enabled(prev_enabled)
         _cache_mod.set_cache_root(prev_root)
@@ -144,7 +186,7 @@ def _resolve_cache(cache: CacheArg) -> Optional[CharacterizationCache]:
 
 
 def _characterize_shard(tech: TechParams, arch: ArchConfig, seed: int,
-                        cache_root: Optional[str],
+                        cache_root: Optional[str], batched: bool,
                         indices: List[int]) -> List[Payload]:
     """Worker body: characterise a shard of dies into payloads.
 
@@ -152,16 +194,26 @@ def _characterize_shard(tech: TechParams, arch: ArchConfig, seed: int,
     Stores into the shared cache directly so the (compressing) writes
     are parallelised too; atomic writes make concurrent stores safe.
     Returns plain array payloads — cheap to pickle back to the parent.
+    With ``batched`` the shard generates its dies with one shared
+    field sampler and bins them through the die-batched
+    :func:`~repro.chip.characterize_dies` kernel — bitwise-identical
+    to the serial loop, so shard boundaries still never show.
     """
     batch = DieBatch(tech, arch, max(indices) + 1, seed=seed)
     floorplan = build_floorplan(arch)
     thermal = ThermalNetwork(floorplan)
     store = (CharacterizationCache(cache_root)
              if cache_root is not None else None)
+    if batched:
+        dies = batch.dies_for(indices)
+        profiles = characterize_dies(dies, tech, arch,
+                                     floorplan=floorplan, thermal=thermal)
+    else:
+        profiles = [characterize_die(batch[index], tech, arch,
+                                     floorplan=floorplan, thermal=thermal)
+                    for index in indices]
     payloads = []
-    for index in indices:
-        profile = characterize_die(batch[index], tech, arch,
-                                   floorplan=floorplan, thermal=thermal)
+    for index, profile in zip(indices, profiles):
         payload = profile_payload(profile)
         if store is not None:
             store.store(cache_key(tech, arch, seed, index), payload)
@@ -180,6 +232,7 @@ def characterize_batch(
     thermal: Optional[ThermalNetwork] = None,
     shard_timeout_s: Optional[float] = None,
     health: Optional[RunHealth] = None,
+    batched: Optional[bool] = None,
 ) -> List[ChipProfile]:
     """Characterise the requested dies of a seeded batch.
 
@@ -194,6 +247,12 @@ def characterize_batch(
             (disabled), or an explicit :class:`CharacterizationCache`.
         floorplan, thermal: Shared structures to attach to the
             profiles (built from ``arch`` when omitted).
+        batched: Whether cache misses run the die-batched
+            characterisation kernel (``None`` resolves via
+            :func:`resolve_batched_characterization`; default on).
+            Batched and serial characterisation are bitwise-identical,
+            so cache keys are shared and the batch fills only misses
+            either way.
         shard_timeout_s: Per-shard wall-time limit for the pool run
             (``None`` defers to ``REPRO_SHARD_TIMEOUT_S``; see
             :func:`~repro.parallel.sharding.resolve_shard_timeout`).
@@ -231,10 +290,11 @@ def characterize_batch(
 
     if health is None:
         health = get_run_health()
+    use_batched = resolve_batched_characterization(batched)
     if missing and workers > 1 and len(missing) > 1:
         fn = functools.partial(
             _characterize_shard, tech, arch, seed,
-            str(store.root) if store is not None else None)
+            str(store.root) if store is not None else None, use_batched)
         payloads = run_sharded(fn, missing, workers=workers,
                                timeout_s=shard_timeout_s, health=health)
         if store is not None:
@@ -244,10 +304,17 @@ def characterize_batch(
                 payload, tech, arch, floorplan, thermal)
     elif missing:
         batch = DieBatch(tech, arch, max(missing) + 1, seed=seed)
-        for index in missing:
-            profile = characterize_die(batch[index], tech, arch,
-                                       floorplan=floorplan,
-                                       thermal=thermal)
+        if use_batched:
+            dies = batch.dies_for(missing)
+            computed = characterize_dies(dies, tech, arch,
+                                         floorplan=floorplan,
+                                         thermal=thermal)
+        else:
+            computed = [characterize_die(batch[index], tech, arch,
+                                         floorplan=floorplan,
+                                         thermal=thermal)
+                        for index in missing]
+        for index, profile in zip(missing, computed):
             if store is not None:
                 store.store(cache_key(tech, arch, seed, index),
                             profile_payload(profile))

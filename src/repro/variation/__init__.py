@@ -12,6 +12,7 @@ from .varius import (
     VariationMap,
     VariationParams,
     generate_variation_map,
+    generate_variation_maps,
 )
 from .die import Die, DieBatch
 from .variogram import (
@@ -36,6 +37,7 @@ __all__ = [
     "VariationParams",
     "VTH_LEFF_CORRELATION",
     "generate_variation_map",
+    "generate_variation_maps",
     "grid_coordinates",
     "make_field_sampler",
     "spherical_correlation",

@@ -14,7 +14,11 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..config import ArchConfig, TechParams
-from .varius import VariationMap, generate_variation_map
+from .varius import (
+    VariationMap,
+    generate_variation_map,
+    generate_variation_maps,
+)
 
 
 @dataclass(frozen=True)
@@ -82,3 +86,38 @@ class DieBatch(Sequence):
     def __iter__(self) -> Iterator[Die]:
         for i in range(self.n_dies):
             yield self[i]
+
+    def dies_for(self, indices: Sequence[int]) -> List[Die]:
+        """The requested dies, generating any missing ones batched.
+
+        Bitwise-identical to indexing each die individually — every
+        die keeps its private ``(seed, index)`` stream — but cache
+        misses share one field-sampler setup through
+        :func:`~repro.variation.varius.generate_variation_maps`, so
+        generating a chunk of dies pays the covariance factorisation
+        (or circulant embedding) once instead of once per die.
+        Generated dies land in the batch's lazy cache exactly as
+        ``__getitem__`` would have left them.
+        """
+        resolved: List[int] = []
+        for index in indices:
+            index = int(index)
+            if index < 0:
+                index += self.n_dies
+            if not 0 <= index < self.n_dies:
+                raise IndexError("die index out of range")
+            resolved.append(index)
+        missing = [i for i in dict.fromkeys(resolved)
+                   if self._cache[i] is None]
+        if missing:
+            rngs = [np.random.default_rng([self.seed, i]) for i in missing]
+            vmaps = generate_variation_maps(
+                self.tech,
+                self.arch.die_edge_mm,
+                self.arch.grid_resolution,
+                rngs,
+                self._method,
+            )
+            for i, vmap in zip(missing, vmaps):
+                self._cache[i] = Die(die_id=i, variation=vmap)
+        return [self._cache[i] for i in resolved]

@@ -17,7 +17,7 @@ gate-length variation; we model that with a correlation coefficient
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,16 +96,16 @@ class VariationMap:
         j = min(int(y_mm / step), self.resolution - 1)
         return i, j
 
-    def region_cells(self, x0: float, y0: float, x1: float, y1: float):
-        """Systematic (Vth, Leff) values of all cells in a rectangle.
+    def region_bounds(self, x0: float, y0: float, x1: float, y1: float,
+                      ) -> Tuple[int, int, int, int]:
+        """Grid-index bounds ``(i0, i1, j0, j1)`` of a rectangle.
 
-        Args:
-            x0, y0, x1, y1: Rectangle corners in mm, x0 < x1, y0 < y1.
-
-        Returns:
-            Tuple of two 1-D arrays (vth values, leff values); at least
-            one cell is always returned (the cell under the rectangle
-            centre) even for rectangles thinner than a grid cell.
+        The half-open index block ``[i0:i1, j0:j1]`` covers every cell
+        the rectangle overlaps; degenerate overlaps fall back to the
+        single cell under the rectangle centre. This is the shared
+        geometry kernel of :meth:`region_cells` — the die-batched
+        characterisation pipeline precomputes these bounds once per
+        floorplan and gathers the same cells across many dies.
         """
         if not (x0 < x1 and y0 < y1):
             raise ValueError("degenerate rectangle")
@@ -117,6 +117,20 @@ class VariationMap:
         if i1 <= i0 or j1 <= j0:
             ci, cj = self.cell_index((x0 + x1) / 2, (y0 + y1) / 2)
             i0, i1, j0, j1 = ci, ci + 1, cj, cj + 1
+        return i0, i1, j0, j1
+
+    def region_cells(self, x0: float, y0: float, x1: float, y1: float):
+        """Systematic (Vth, Leff) values of all cells in a rectangle.
+
+        Args:
+            x0, y0, x1, y1: Rectangle corners in mm, x0 < x1, y0 < y1.
+
+        Returns:
+            Tuple of two 1-D arrays (vth values, leff values); at least
+            one cell is always returned (the cell under the rectangle
+            centre) even for rectangles thinner than a grid cell.
+        """
+        i0, i1, j0, j1 = self.region_bounds(x0, y0, x1, y1)
         vth = self.vth_sys[i0:i1, j0:j1].ravel()
         leff = self.leff_sys[i0:i1, j0:j1].ravel()
         return vth, leff
@@ -129,6 +143,48 @@ def _centre_unit_variance(field: np.ndarray) -> np.ndarray:
     if std <= 0:
         raise ValueError("degenerate (constant) variation field")
     return centred / std
+
+
+def _finalize_variation_map(
+    tech: TechParams,
+    die_edge_mm: float,
+    phi_mm: float,
+    base: np.ndarray,
+    indep: np.ndarray,
+) -> VariationMap:
+    """Turn two raw correlated fields into one die's variation map.
+
+    Shared by the serial and batched generators so both run the exact
+    same per-die float expressions (centring, the Vth/Leff mix, the
+    sigma scaling and the physical floor) and stay bitwise-identical.
+    """
+    # The paper models *within-die* variation only (Section 3): remove
+    # each die's spatial mean so no die-to-die offset leaks in, and
+    # restore unit variance (centring a correlated field removes the
+    # die-mean variance share).
+    base = _centre_unit_variance(base)
+    indep = _centre_unit_variance(indep)
+    rho = VTH_LEFF_CORRELATION
+    mixed = rho * base + np.sqrt(1.0 - rho ** 2) * indep
+
+    vth_params = VariationParams(
+        mean=tech.vth_mean, sigma_total=tech.vth_sigma, phi=phi_mm)
+    leff_params = VariationParams(
+        mean=tech.leff_mean, sigma_total=tech.leff_sigma, phi=phi_mm)
+
+    vth_sys = tech.vth_mean + vth_params.sigma_sys * base
+    leff_sys = tech.leff_mean + leff_params.sigma_sys * mixed
+    # Physical floor: neither parameter may go non-positive even in
+    # extreme tails.
+    vth_sys = np.maximum(vth_sys, 0.05 * tech.vth_mean)
+    leff_sys = np.maximum(leff_sys, 0.05 * tech.leff_mean)
+    return VariationMap(
+        vth_sys=vth_sys,
+        leff_sys=leff_sys,
+        vth=vth_params,
+        leff=leff_params,
+        edge=die_edge_mm,
+    )
 
 
 def generate_variation_map(
@@ -158,30 +214,42 @@ def generate_variation_map(
     sampler = make_field_sampler(resolution, die_edge_mm, phi_mm, method)
     base = sampler.sample(rng)
     indep = sampler.sample(rng)
-    # The paper models *within-die* variation only (Section 3): remove
-    # each die's spatial mean so no die-to-die offset leaks in, and
-    # restore unit variance (centring a correlated field removes the
-    # die-mean variance share).
-    base = _centre_unit_variance(base)
-    indep = _centre_unit_variance(indep)
-    rho = VTH_LEFF_CORRELATION
-    mixed = rho * base + np.sqrt(1.0 - rho ** 2) * indep
+    return _finalize_variation_map(tech, die_edge_mm, phi_mm, base, indep)
 
-    vth_params = VariationParams(
-        mean=tech.vth_mean, sigma_total=tech.vth_sigma, phi=phi_mm)
-    leff_params = VariationParams(
-        mean=tech.leff_mean, sigma_total=tech.leff_sigma, phi=phi_mm)
 
-    vth_sys = tech.vth_mean + vth_params.sigma_sys * base
-    leff_sys = tech.leff_mean + leff_params.sigma_sys * mixed
-    # Physical floor: neither parameter may go non-positive even in
-    # extreme tails.
-    vth_sys = np.maximum(vth_sys, 0.05 * tech.vth_mean)
-    leff_sys = np.maximum(leff_sys, 0.05 * tech.leff_mean)
-    return VariationMap(
-        vth_sys=vth_sys,
-        leff_sys=leff_sys,
-        vth=vth_params,
-        leff=leff_params,
-        edge=die_edge_mm,
-    )
+def generate_variation_maps(
+    tech: TechParams,
+    die_edge_mm: float,
+    resolution: int,
+    rngs: Sequence[np.random.Generator],
+    method: Optional[str] = None,
+) -> List[VariationMap]:
+    """Batched :func:`generate_variation_map` over many dies.
+
+    Bitwise-identical to calling the serial generator once per ``rng``
+    (property-tested): the expensive sampler setup — the covariance
+    build plus Cholesky factorisation, or the circulant embedding —
+    is hoisted out of the per-die loop and each die's draws keep the
+    exact serial stream order via
+    :meth:`~repro.variation.spatial.CholeskyFieldSampler.sample_batch`.
+    The per-die finalisation (centring, mixing, flooring) is the same
+    shared helper the serial path runs, including its serial-order
+    degenerate-field error.
+
+    Args:
+        rngs: One generator per die, consumed in order.
+
+    Returns:
+        One :class:`VariationMap` per generator, in order.
+    """
+    rngs = list(rngs)
+    if not rngs:
+        return []
+    phi_mm = tech.phi_fraction * die_edge_mm
+    sampler = make_field_sampler(resolution, die_edge_mm, phi_mm, method)
+    fields = sampler.sample_batch(rngs, count=2)
+    return [
+        _finalize_variation_map(tech, die_edge_mm, phi_mm,
+                                fields[d, 0], fields[d, 1])
+        for d in range(len(rngs))
+    ]

@@ -55,6 +55,21 @@ class TestChipProfile:
     def test_dies_differ(self, chip, chip2):
         assert not np.array_equal(chip.fmax_array, chip2.fmax_array)
 
+    def test_fmax_array_cached_and_readonly(self, chip):
+        first = chip.fmax_array
+        assert chip.fmax_array is first  # built once, reused
+        assert not first.flags.writeable
+        np.testing.assert_array_equal(
+            first, np.array([c.fmax for c in chip.cores]))
+
+    def test_static_rated_array_cached_and_readonly(self, chip):
+        first = chip.static_rated_array
+        assert chip.static_rated_array is first
+        assert not first.flags.writeable
+        np.testing.assert_array_equal(
+            first,
+            np.array([c.static_power_rated for c in chip.cores]))
+
     def test_mismatched_floorplan_rejected(self, die_batch):
         small_fp = build_floorplan(ArchConfig(n_cores=8,
                                               die_area_mm2=140.0))

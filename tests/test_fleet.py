@@ -439,6 +439,48 @@ class TestCampaign:
             for k in back:
                 assert np.array_equal(back[k], ref[k])
 
+    def test_mixed_cache_hits_match_cold_run(self, tmp_path):
+        """Batched chunks over a partially warmed cache stay bitwise.
+
+        Pre-warming some dies (one of them corrupted on disk) must not
+        change a single byte of the campaign output versus the all-cold
+        run, and the cache counters must attribute every die correctly
+        under the batched characterisation path.
+        """
+        from repro.parallel import CharacterizationCache, cache_key
+
+        plan = _tiny_plan("mixed")
+        cold = run_fleet_campaign(plan, tmp_path / "cold", workers=1)
+        cold_summary = cold.summary_path.read_bytes()
+        cold_shards = {i.path.name: load_shard(i.path)
+                      for i in iter_shards(cold.out_dir / "shards")}
+
+        # Warm dies from both chunks through the batched path, then
+        # corrupt one entry so the campaign sees hit+miss+corrupt.
+        warm = CharacterizationCache(tmp_path / "cache")
+        characterize_batch(plan.tech, plan.arch, plan.seed, [1, 5, 6],
+                           workers=1, cache=warm, batched=True)
+        corrupt_path = warm.path_for(
+            cache_key(plan.tech, plan.arch, plan.seed, 5))
+        corrupt_path.write_bytes(b"not an npz")
+
+        cache = CharacterizationCache(tmp_path / "cache")  # fresh stats
+        mixed = run_fleet_campaign(plan, tmp_path / "mixed", workers=1,
+                                   cache=cache)
+        assert mixed.summary_path.read_bytes() == cold_summary
+        for info in iter_shards(mixed.out_dir / "shards"):
+            ref = cold_shards[info.path.name]
+            back = load_shard(info.path)
+            assert set(back) == set(ref)
+            for k in back:
+                assert np.array_equal(back[k], ref[k])
+        # 8 dies: 2 intact hits, 1 quarantined, 5 absent; the 6
+        # recharacterised dies are stored back.
+        assert cache.stats["hits"] == 2
+        assert cache.stats["corrupt"] == 1
+        assert cache.stats["misses"] == 5
+        assert cache.stats["stores"] == 6
+
     def test_summarize_shards_matches_summary(self, tmp_path):
         plan = _tiny_plan("stats", with_power=False)
         result = run_fleet_campaign(plan, tmp_path, workers=1)

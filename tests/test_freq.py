@@ -116,6 +116,54 @@ class TestParetoPrune:
         pruned = pareto_prune(paths)
         assert pruned.vth.size == 2
 
+    @staticmethod
+    def _loop_reference(paths: PathSet) -> PathSet:
+        """The original per-path loop, kept as the regression oracle
+        for the vectorised keep-mask implementation."""
+        order = np.argsort(paths.vth)[::-1]
+        vth = paths.vth[order]
+        leff = paths.leff[order]
+        keep = []
+        best_leff = -np.inf
+        for i in range(vth.size):
+            if leff[i] > best_leff:
+                keep.append(i)
+                best_leff = leff[i]
+        idx = np.array(keep, dtype=np.intp)
+        return PathSet(vth=vth[idx], leff=leff[idx])
+
+    @given(st.integers(min_value=1, max_value=80),
+           st.integers(min_value=0, max_value=2000),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_loop_reference(self, n, seed, quantize):
+        """Vectorised prune == loop prune, including tie-heavy inputs.
+
+        ``quantize`` rounds values onto a coarse grid so duplicate vth
+        (argsort tie-breaking) and duplicate leff (strict-> comparison
+        on equal values) both occur often.
+        """
+        rng = np.random.default_rng(seed)
+        vth = 0.25 + 0.03 * rng.standard_normal(n)
+        leff = 32e-9 * (1 + 0.1 * rng.standard_normal(n))
+        if quantize:
+            vth = np.round(vth, 2)
+            leff = np.round(leff, 9)
+        paths = PathSet(vth=vth, leff=leff)
+        expected = self._loop_reference(paths)
+        got = pareto_prune(paths)
+        np.testing.assert_array_equal(got.vth, expected.vth)
+        np.testing.assert_array_equal(got.leff, expected.leff)
+
+    def test_matches_loop_reference_all_equal(self):
+        """All-tied input: exactly one survivor, same as the loop."""
+        paths = PathSet(vth=np.full(7, 0.25), leff=np.full(7, 32e-9))
+        expected = self._loop_reference(paths)
+        got = pareto_prune(paths)
+        assert got.vth.size == expected.vth.size == 1
+        np.testing.assert_array_equal(got.vth, expected.vth)
+        np.testing.assert_array_equal(got.leff, expected.leff)
+
     @given(st.integers(min_value=1, max_value=60),
            st.integers(min_value=0, max_value=1000))
     @settings(max_examples=30, deadline=None)
