@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint chaos daemon fleet bench bench-gate bench-baseline coverage
+.PHONY: test lint chaos daemon durability fleet bench bench-gate bench-baseline coverage
 
 test:
 	$(PYTHON) -m pytest -x -q -W error::RuntimeWarning
@@ -15,6 +15,13 @@ chaos:
 # job runs this plus the service benchmark under a hard timeout).
 daemon:
 	$(PYTHON) -m pytest -x -q tests/test_daemon.py tests/test_daemon_chaos.py
+
+# Crash-recovery suite: op-log/snapshot units, bitwise replay,
+# reconnecting clients, then the real SIGKILL-restart chaos run
+# (CI's 'daemon-durability' job adds the recovery-time floor).
+durability:
+	$(PYTHON) -m pytest -x -q tests/test_daemon_durability.py
+	$(PYTHON) -m pytest -x -q -m slow tests/test_daemon_durability.py
 
 # Fleet subsystem suite + the nightly kill/resume bitwise check at
 # smoke scale (the scheduled CI job runs it at 10^4 dies).

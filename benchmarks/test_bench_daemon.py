@@ -29,6 +29,13 @@ SLICES = (0.01, 0.02, None)  # None = to_end
 # only guards against order-of-magnitude collapses.
 MIN_TENANTS_PER_S = 5.0
 
+N_RECOVER = 16
+# Recovery restores snapshots (no chip re-characterisation) so it
+# sustains hundreds of tenants/s; like the registration floor this
+# only catches order-of-magnitude collapses (e.g. snapshot loading
+# silently falling back to full characterise-and-replay).
+MIN_RECOVERY_TENANTS_PER_S = 5.0
+
 
 def _register_all(host, port):
     clients = [DaemonClient(host, port) for _ in range(N_CLIENTS)]
@@ -100,3 +107,81 @@ def test_daemon_service_throughput(benchmark, results_dir):
     assert throughput >= MIN_TENANTS_PER_S, (
         f"daemon registered only {throughput:.1f} tenants/s "
         f"(floor {MIN_TENANTS_PER_S})")
+
+
+def _durable_spec(i):
+    return dict(tenant=f"dur-{i:02d}", env="low_power",
+                policy="VarF&AppIPC", manager=None, noise_sigma=0.0,
+                watchdog=False, faults=None, seed=i % 4, n_cores=2,
+                n_threads=2, duration_s=0.03, dvfs_interval_s=0.01)
+
+
+def _populate_state(state_dir):
+    controller = DaemonController(cache=None, state_dir=state_dir,
+                                  snapshot_every=4)
+    for i in range(N_RECOVER):
+        controller.register(_durable_spec(i))
+        for until in (0.01, 0.02, 0.03):
+            controller.advance(f"dur-{i:02d}", until_s=until)
+    return controller
+
+
+def test_daemon_recovery_throughput(benchmark, results_dir, tmp_path):
+    """Crash-recovery cost: rebuild a populated state directory.
+
+    Writes N_RECOVER durable tenants (register + three advances each,
+    snapshot_every=4 so each tenant ends snapshot-covered), drops the
+    controller as a crash would, and times a cold
+    :class:`DaemonController` construction over the same state dir —
+    which runs the full recovery pass (snapshot restore, oplog
+    replay, divergence checks) before it returns.
+    """
+    state_dir = tmp_path / "state"
+    before = _populate_state(state_dir)
+    digests = {name: before._get(name).stepper.decision_digest()
+               for name in (f"dur-{i:02d}" for i in range(N_RECOVER))}
+    del before
+
+    def _recover():
+        t0 = time.perf_counter()
+        controller = DaemonController(cache=None, state_dir=state_dir)
+        return controller, time.perf_counter() - t0
+
+    recovered, recovery_wall = benchmark.pedantic(
+        _recover, rounds=1, iterations=1)
+    stats = recovered.last_recovery
+    rate = N_RECOVER / recovery_wall
+
+    assert stats.tenants_recovered == N_RECOVER
+    assert stats.tenants_quarantined == 0
+    for name, digest in digests.items():
+        assert recovered._get(name).stepper.decision_digest() == digest
+
+    metrics = {
+        # Deterministic recovery counters: pinned by the drift check.
+        "tenants_recovered": float(stats.tenants_recovered),
+        "tenants_quarantined": float(stats.tenants_quarantined),
+        "ops_replayed": float(stats.ops_replayed),
+        "snapshot_restores": float(stats.snapshot_restores),
+        # Machine-dependent: exempt from drift, floored below.
+        "recovery_tenants_per_s": rate,
+        "recovery_wall_s": recovery_wall,
+        "recovery_per_100_tenants_s": 100.0 / rate,
+    }
+    table = format_rows(
+        ["metric", "value"],
+        [["tenants recovered", stats.tenants_recovered],
+         ["recovery throughput (tenants/s)", rate],
+         ["recovery per 100 tenants (s)", 100.0 / rate],
+         ["ops replayed", stats.ops_replayed],
+         ["snapshot restores", stats.snapshot_restores]],
+        f"Daemon recovery of {N_RECOVER} durable tenants from a "
+        f"crashed state directory")
+    emit(results_dir, "daemon_recovery", table, benchmark=benchmark,
+         metrics=metrics,
+         extra={"floors": {
+             "recovery_tenants_per_s": MIN_RECOVERY_TENANTS_PER_S}})
+
+    assert rate >= MIN_RECOVERY_TENANTS_PER_S, (
+        f"daemon recovered only {rate:.1f} tenants/s "
+        f"(floor {MIN_RECOVERY_TENANTS_PER_S})")

@@ -208,12 +208,26 @@ def _daemon_main(argv: List[str]) -> int:
         description="Serve the power-management stack as a "
                     "long-running multi-tenant daemon (NDJSON over "
                     "TCP; see DESIGN.md section 16).")
-    parser.add_argument("action", choices=("serve",))
+    parser.add_argument("action", choices=("serve", "recover",
+                                           "status"))
     parser.add_argument("--host", default="127.0.0.1",
-                        help="bind address (default 127.0.0.1)")
+                        help="bind address (serve) or daemon address "
+                             "(status; default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=7715,
                         help="TCP port; 0 picks a free one "
                              "(default 7715)")
+    parser.add_argument("--state-dir", default=None,
+                        help="durable state directory: journal every "
+                             "admitted request, snapshot tenants, and "
+                             "recover them by deterministic replay on "
+                             "restart (DESIGN.md section 19; default "
+                             "in-RAM only)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="wipe --state-dir before serving "
+                             "(discard all durable tenants)")
+    parser.add_argument("--snapshot-every", type=int, default=16,
+                        help="ops journaled between tenant snapshots "
+                             "(default 16)")
     parser.add_argument("--max-frame-bytes", type=_parse_size,
                         default=None,
                         help="per-frame size budget (suffixes K/M/G; "
@@ -231,9 +245,72 @@ def _daemon_main(argv: List[str]) -> int:
 
     from .daemon import DaemonController, DaemonServer
 
+    if args.action == "status":
+        from .daemon import DaemonClient, DaemonError
+        try:
+            with DaemonClient(args.host, args.port,
+                              timeout_s=10.0) as client:
+                status = client.request("status")
+        except (OSError, DaemonError) as exc:
+            print(f"repro daemon status: {exc}", file=sys.stderr)
+            return 2
+        counters = status["telemetry"]["counters"]
+        print(f"daemon at {args.host}:{args.port} "
+              f"(durable={status['durable']})")
+        for info in status["tenants"]:
+            print(f"  tenant {info['tenant']}: {info['status']} "
+                  f"t={info['time_s']:.4f}s "
+                  f"decisions={info['decisions']} "
+                  f"ops_journaled={info['ops_journaled']}")
+        recovery = status.get("recovery")
+        if recovery:
+            print(f"  recovery: {recovery['tenants_recovered']} "
+                  f"tenants, {recovery['ops_replayed']} ops "
+                  f"replayed, {recovery['snapshot_restores']} from "
+                  f"snapshot, {recovery['tenants_quarantined']} "
+                  f"quarantined")
+        dropped = status.get("dropped_by_tenant") or {}
+        print(f"  dropped_frames={counters['dropped_frames']}"
+              + (f" by_tenant={dropped}" if dropped else ""))
+        quarantined = status["telemetry"].get("quarantined") or {}
+        for name, reason in quarantined.items():
+            print(f"  quarantined {name}: {reason}")
+        return 0
+
+    if args.action == "recover":
+        # Offline recovery check: replay the state dir (no listener),
+        # report what would be restored, exit non-zero on quarantine.
+        if not args.state_dir:
+            print("repro daemon recover requires --state-dir",
+                  file=sys.stderr)
+            return 2
+        controller = DaemonController(
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every)
+        stats = controller.last_recovery
+        assert stats is not None
+        print(f"recovered {stats.tenants_recovered} tenant(s): "
+              f"{stats.ops_replayed} op(s) replayed, "
+              f"{stats.snapshot_restores} snapshot restore(s), "
+              f"{stats.snapshot_quarantines} snapshot "
+              f"quarantine(s)")
+        for name in controller.tenants():
+            info = controller.tenant_info(name)
+            print(f"  tenant {name}: {info['status']} "
+                  f"t={info['time_s']:.4f}s "
+                  f"decisions={info['decisions']}")
+        for name, reason in stats.quarantine_reasons.items():
+            print(f"  quarantined {name}: {reason}")
+        return 1 if stats.tenants_quarantined else 0
+
+    if args.fresh and args.state_dir:
+        from .daemon.durability import StateDir
+        StateDir(args.state_dir).clear()
+
     async def _serve() -> int:
         server = DaemonServer(
-            DaemonController(),
+            DaemonController(state_dir=args.state_dir,
+                             snapshot_every=args.snapshot_every),
             host=args.host, port=args.port,
             max_frame_bytes=(args.max_frame_bytes
                              if args.max_frame_bytes else 64 * 1024),
@@ -241,6 +318,12 @@ def _daemon_main(argv: List[str]) -> int:
             idle_timeout_s=args.idle_timeout or None,
             heartbeat_interval_s=args.heartbeat or None)
         host, port = await server.start()
+        recovery = server.controller.last_recovery
+        if recovery is not None and recovery.tenants_recovered:
+            print(f"recovered {recovery.tenants_recovered} "
+                  f"tenant(s) ({recovery.ops_replayed} ops "
+                  f"replayed, {recovery.snapshot_restores} from "
+                  f"snapshot)", flush=True)
         print(f"repro daemon listening on {host}:{port}",
               flush=True)
         try:

@@ -8,9 +8,24 @@ migrations) as pub/sub events — over a newline-delimited-JSON
 protocol with versioned schema validation, typed errors, per-tenant
 crash quarantine, bounded subscriber queues and drain-then-stop
 shutdown. See DESIGN.md §16.
+
+Durability (DESIGN.md §19): a daemon given a ``state_dir`` journals
+every admitted state-mutating request to per-tenant write-ahead op
+logs, compacts periodic snapshots, and recovers every tenant by
+deterministic replay after a crash — decision streams are
+bitwise-identical to an uninterrupted run. Clients reconnect with
+deterministic exponential backoff and idempotent ``request_id``
+retries (:class:`ReconnectingClient`).
 """
 
-from .client import DaemonClient, DaemonError
+from .client import (
+    BACKOFF_BASE_S,
+    BACKOFF_CAP_S,
+    DaemonClient,
+    DaemonError,
+    ReconnectingClient,
+    backoff_delay_s,
+)
 from .controller import (
     ACTIVE,
     FINISHED,
@@ -22,6 +37,18 @@ from .controller import (
     build_config,
     build_stepper,
     decision_to_dict,
+)
+from .durability import (
+    DEDUP_WINDOW,
+    OPLOG_FILENAME,
+    SNAPSHOT_FORMAT,
+    OpLog,
+    OpRecord,
+    RecoveryStats,
+    StateDir,
+    TenantStore,
+    op_key,
+    tenant_dir_name,
 )
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -40,8 +67,11 @@ from .telemetry import COUNTER_FIELDS, DaemonTelemetry
 
 __all__ = [
     "ACTIVE",
+    "BACKOFF_BASE_S",
+    "BACKOFF_CAP_S",
     "COUNTER_FIELDS",
     "CrashingManager",
+    "DEDUP_WINDOW",
     "DEFAULT_MAX_FRAME_BYTES",
     "DaemonClient",
     "DaemonController",
@@ -50,13 +80,22 @@ __all__ = [
     "DaemonTelemetry",
     "ERROR_CODES",
     "FINISHED",
+    "OPLOG_FILENAME",
+    "OpLog",
+    "OpRecord",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QUARANTINED",
     "REQUESTS",
+    "ReconnectingClient",
+    "RecoveryStats",
+    "SNAPSHOT_FORMAT",
     "ServerThread",
+    "StateDir",
     "Tenant",
     "TenantConfig",
+    "TenantStore",
+    "backoff_delay_s",
     "build_config",
     "build_stepper",
     "decision_to_dict",
@@ -64,6 +103,8 @@ __all__ = [
     "encode_frame",
     "error_frame",
     "event_frame",
+    "op_key",
     "reply_frame",
+    "tenant_dir_name",
     "validate_request",
 ]

@@ -19,13 +19,28 @@ other tenant observes anything. Per-tenant determinism is structural:
 :class:`SimulationStepper` code path, so a tenant's decision stream is
 bitwise-identical to a direct run no matter how advances interleave
 across threads.
+
+Durability (DESIGN.md §19): with ``state_dir`` set, every admitted
+state-mutating request — register, advance, fault injection, sensor
+feed — is journaled to the tenant's write-ahead op log *before* the
+reply leaves the daemon, and periodic snapshots bound recovery cost.
+A restarted controller calls :meth:`DaemonController.recover`, which
+rebuilds each tenant by deterministic replay through the stepper
+(decision streams bitwise-identical to an uninterrupted run — a
+replay that diverges from the journaled replies quarantines that
+tenant rather than serving silently-different state). Requests carry
+an optional client ``request_id``; each tenant keeps a bounded dedup
+window of recent ``request_id -> reply`` pairs so a retried request
+gets its original reply replayed, never re-executed.
 """
 
 from __future__ import annotations
 
+import pathlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +73,13 @@ from ..runtime import (
 )
 from ..sched import POLICIES
 from ..workloads import make_workload
+from .durability import (
+    DEDUP_WINDOW,
+    SNAPSHOT_FORMAT,
+    RecoveryStats,
+    StateDir,
+    TenantStore,
+)
 from .protocol import (
     ERR_DUPLICATE_TENANT,
     ERR_INVALID,
@@ -241,17 +263,35 @@ class Tenant:
     """One hosted chip: a stepper plus lifecycle/quarantine state.
 
     ``lock`` serialises advancement of *this* tenant only; different
-    tenants advance concurrently on different executor threads.
+    tenants advance concurrently on different executor threads. It is
+    re-entrant so the controller can hold it across an
+    execute-then-journal sequence (op-log order must match execution
+    order) while :meth:`advance` keeps its own acquisition for
+    non-durable callers.
     """
 
     def __init__(self, config: TenantConfig,
                  stepper: SimulationStepper) -> None:
         self.config = config
         self.stepper = stepper
-        self.lock = threading.Lock()
+        self.lock = threading.RLock()
         self.status = ACTIVE
         self.quarantine_reason: Optional[str] = None
         self.last_tier = 0
+        #: Durable footprint (None on a memory-only controller).
+        self.store: Optional[TenantStore] = None
+        #: Idempotency window: request_id -> the reply it produced.
+        self.dedup: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._last_snapshot_seq = -1
+
+    def remember_reply(self, request_id: Optional[str],
+                       reply: Dict[str, Any]) -> None:
+        """Insert a reply into the bounded idempotency window."""
+        if request_id is None:
+            return
+        self.dedup[request_id] = reply
+        while len(self.dedup) > DEDUP_WINDOW:
+            self.dedup.popitem(last=False)
 
     def require_usable(self) -> None:
         if self.status == QUARANTINED:
@@ -295,6 +335,8 @@ class Tenant:
             "n_cores": self.config.n_cores,
             "n_threads": self.config.n_threads,
             "seed": self.config.seed,
+            "ops_journaled": (self.store.oplog.next_seq
+                              if self.store is not None else 0),
         }
 
     def timeline(self, width: int = 60) -> str:
@@ -352,19 +394,38 @@ class DaemonController:
             chips is cheap and nested pools are not worth it).
         cache: Characterisation cache policy (``"auto"`` honours
             ``REPRO_NO_CACHE`` exactly like the experiment layer).
+        state_dir: Durable state directory. ``None`` keeps every
+            tenant in RAM only (PR 7 behaviour); a path turns on
+            write-ahead op logging, snapshot compaction and — when
+            the directory already holds tenants — crash recovery by
+            deterministic replay (run automatically at construction).
+        snapshot_every: Journal this many ops between snapshots of a
+            tenant's live state (bounds replay cost at recovery).
     """
 
     def __init__(self, telemetry: Optional[DaemonTelemetry] = None,
                  tech: Optional[TechParams] = None,
-                 workers: int = 1, cache: Any = "auto") -> None:
+                 workers: int = 1, cache: Any = "auto",
+                 state_dir: Optional[Union[str,
+                                           pathlib.Path]] = None,
+                 snapshot_every: int = 16) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be positive")
         self.telemetry = (telemetry if telemetry is not None
                           else DaemonTelemetry())
         self.tech = tech if tech is not None else TechParams()
         self.workers = workers
         self.cache = cache
+        self.snapshot_every = snapshot_every
+        self.state = (StateDir(state_dir) if state_dir is not None
+                      else None)
+        #: Stats of the recovery pass run at construction (if any).
+        self.last_recovery: Optional[RecoveryStats] = None
         self._lock = threading.RLock()
         self._tenants: Dict[str, Tenant] = {}
         self._factories: Dict[Tuple[int, int], ChipFactory] = {}
+        if self.state is not None:
+            self.last_recovery = self.recover()
 
     # -- Registry ------------------------------------------------------
 
@@ -397,11 +458,76 @@ class DaemonController:
         with self._lock:
             return sorted(self._tenants)
 
+    def quarantined(self) -> Dict[str, Optional[str]]:
+        """Quarantined tenants and why (heartbeat/status surface)."""
+        with self._lock:
+            return {tenant.config.name: tenant.quarantine_reason
+                    for _, tenant in sorted(self._tenants.items())
+                    if tenant.status == QUARANTINED}
+
+    # -- Durability helpers --------------------------------------------
+
+    def _duplicate(self, tenant: Tenant,
+                   request_id: Optional[str],
+                   ) -> Optional[Dict[str, Any]]:
+        """The journaled reply for a repeated request_id, or None.
+
+        Idempotency: a retried request replays its original reply;
+        the op is never re-executed. Caller holds the tenant lock.
+        """
+        if request_id is not None and request_id in tenant.dedup:
+            self.telemetry.incr("deduped_requests")
+            return tenant.dedup[request_id]
+        return None
+
+    def _journal(self, tenant: Tenant, rtype: str,
+                 payload: Dict[str, Any], reply: Dict[str, Any],
+                 request_id: Optional[str]) -> None:
+        """Durably journal one admitted op before its reply leaves.
+
+        Caller holds the tenant lock, so the op log's order is the
+        execution order. Snapshots are written every
+        ``snapshot_every`` ops to bound replay cost at recovery.
+        """
+        tenant.remember_reply(request_id, reply)
+        if tenant.store is None:
+            return
+        tenant.store.oplog.append(rtype, payload, reply, request_id)
+        self.telemetry.incr("oplog_appends")
+        last_seq = tenant.store.oplog.next_seq - 1
+        if last_seq - tenant._last_snapshot_seq >= self.snapshot_every:
+            self._write_snapshot(tenant, last_seq)
+
+    def _write_snapshot(self, tenant: Tenant, seq: int) -> None:
+        assert tenant.store is not None
+        tenant.store.write_snapshot(seq, {
+            "format": SNAPSHOT_FORMAT,
+            "name": tenant.config.name,
+            "seq": seq,
+            "stepper": tenant.stepper,
+            "dedup": list(tenant.dedup.items()),
+            "status": tenant.status,
+            "quarantine_reason": tenant.quarantine_reason,
+            "last_tier": tenant.last_tier,
+        })
+        tenant._last_snapshot_seq = seq
+        self.telemetry.incr("snapshots_written")
+
     # -- Request verbs -------------------------------------------------
 
     def register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Create a tenant; the expensive chip build happens outside
         the registry lock so registrations don't serialise on it."""
+        payload = dict(payload)
+        request_id = payload.pop("request_id", None)
+        if request_id is not None:
+            with self._lock:
+                existing = self._tenants.get(payload.get("tenant"))
+            if existing is not None:
+                with existing.lock:
+                    dup = self._duplicate(existing, request_id)
+                if dup is not None:
+                    return dup
         config = build_config(payload)
         with self._lock:
             if config.name in self._tenants:
@@ -418,23 +544,48 @@ class DaemonController:
                     ERR_DUPLICATE_TENANT,
                     f"tenant {config.name!r} already registered")
             self._tenants[config.name] = tenant
+        if self.state is not None:
+            # Wipe any stale directory (a crash between directory
+            # creation and the register append, or a dir recovery
+            # skipped as incomplete) before adopting the name.
+            self.state.remove_tenant(config.name)
+            tenant.store = self.state.store_for(config.name)
+        info = tenant.info()
+        with tenant.lock:
+            self._journal(tenant, "register", payload, info,
+                          request_id)
         self.telemetry.incr("tenants_registered")
-        return tenant.info()
+        return info
 
     def advance(self, name: str, until_s: Optional[float] = None,
-                to_end: bool = False) -> Dict[str, Any]:
+                to_end: bool = False,
+                request_id: Optional[str] = None) -> Dict[str, Any]:
         """Advance one tenant; records decision/tier telemetry."""
         tenant = self._get(name)
-        try:
-            decisions = tenant.advance(until_s, to_end)
-        except ProtocolError:
-            raise
-        except Exception as exc:
-            self.telemetry.incr("quarantines")
-            raise ProtocolError(
-                ERR_QUARANTINED,
-                f"tenant {name!r} crashed and was quarantined: "
-                f"{type(exc).__name__}: {exc}") from exc
+        with tenant.lock:
+            dup = self._duplicate(tenant, request_id)
+            if dup is not None:
+                return dup
+            try:
+                decisions = tenant.advance(until_s, to_end)
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                self.telemetry.incr("quarantines")
+                raise ProtocolError(
+                    ERR_QUARANTINED,
+                    f"tenant {name!r} crashed and was quarantined: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            result = {
+                "tenant": name,
+                "time_s": tenant.stepper.time_s,
+                "finished": tenant.stepper.finished,
+                "decisions": [decision_to_dict(d) for d in decisions],
+            }
+            self._journal(tenant, "advance",
+                          {"tenant": name, "until_s": until_s,
+                           "to_end": bool(to_end)},
+                          result, request_id)
         tele = self.telemetry
         tele.incr("advances")
         if decisions:
@@ -456,25 +607,78 @@ class DaemonController:
                 tele.incr("lp_fallbacks", lp)
         if tenant.status == FINISHED:
             tele.incr("tenants_finished")
-        return {
-            "tenant": name,
-            "time_s": tenant.stepper.time_s,
-            "finished": tenant.stepper.finished,
-            "decisions": [decision_to_dict(d) for d in decisions],
-        }
+        return result
 
-    def inject(self, name: str, kind: str) -> Dict[str, Any]:
+    def inject(self, name: str, kind: str,
+               request_id: Optional[str] = None) -> Dict[str, Any]:
         """Arm a one-shot manager fault on a resilient tenant."""
         tenant = self._get(name)
-        tenant.require_usable()
-        manager = tenant.stepper.sim.manager
-        if not isinstance(manager, ResilientManager):
-            raise ProtocolError(
-                ERR_INVALID,
-                f"tenant {name!r} has no resilient manager to "
-                f"inject into")
-        manager.inject_failure(kind)
-        return {"tenant": name, "armed": kind}
+        with tenant.lock:
+            tenant.require_usable()
+            dup = self._duplicate(tenant, request_id)
+            if dup is not None:
+                return dup
+            manager = tenant.stepper.sim.manager
+            if not isinstance(manager, ResilientManager):
+                raise ProtocolError(
+                    ERR_INVALID,
+                    f"tenant {name!r} has no resilient manager to "
+                    f"inject into")
+            manager.inject_failure(kind)
+            result = {"tenant": name, "armed": kind}
+            self._journal(tenant, "inject",
+                          {"tenant": name, "kind": kind},
+                          result, request_id)
+        return result
+
+    def sensor_feed(self, name: str, core_values: List[Any],
+                    uncore_value: Optional[float] = None,
+                    request_id: Optional[str] = None,
+                    ) -> Dict[str, Any]:
+        """Ingest client-supplied measurements into a tenant's bank.
+
+        The measurements pass through the tenant's
+        :class:`~repro.faults.SensorBank` plausibility clamps before
+        any manager can observe them — out-of-range values are
+        bounded, never trusted raw — and become the channels'
+        last-known-good readings. Requires the tenant to have a bank
+        (registered with ``noise_sigma > 0``, ``watchdog`` or sensor
+        faults); others get a typed ``invalid`` error.
+        """
+        tenant = self._get(name)
+        with tenant.lock:
+            tenant.require_usable()
+            dup = self._duplicate(tenant, request_id)
+            if dup is not None:
+                return dup
+            bank = tenant.stepper.sim.sensor_bank
+            if bank is None:
+                raise ProtocolError(
+                    ERR_INVALID,
+                    f"tenant {name!r} has no sensor bank (register "
+                    f"with noise_sigma > 0, watchdog, or sensor "
+                    f"faults to enable sensor_feed)")
+            try:
+                fed = bank.feed(
+                    [float(v) for v in core_values],
+                    None if uncore_value is None
+                    else float(uncore_value))
+            except ValueError as exc:
+                raise ProtocolError(ERR_INVALID, str(exc))
+            self.telemetry.incr("sensor_feeds")
+            if fed["clamped"]:
+                self.telemetry.incr("sensor_feed_clamps",
+                                    fed["clamped"])
+            result = {"tenant": name, **fed}
+            self._journal(tenant, "sensor_feed",
+                          {"tenant": name,
+                           "core_values": [float(v)
+                                           for v in core_values],
+                           "uncore_value": (
+                               None if uncore_value is None
+                               else float(uncore_value))},
+                          result, request_id)
+        return result
 
     def tenant_info(self, name: str) -> Dict[str, Any]:
         return self._get(name).info()
@@ -487,20 +691,169 @@ class DaemonController:
         return self._get(name).trace_summary()
 
     def unregister(self, name: str) -> Dict[str, Any]:
+        """Drop a tenant and its durable footprint (not idempotent:
+        an unregister is destructive, so a retry after it lands gets
+        ``unknown_tenant`` rather than a replayed reply)."""
         with self._lock:
             tenant = self._tenants.pop(name, None)
         if tenant is None:
             raise ProtocolError(ERR_UNKNOWN_TENANT,
                                 f"no tenant {name!r}")
+        if self.state is not None:
+            self.state.remove_tenant(name)
         self.telemetry.incr("tenants_unregistered")
         return {"tenant": name, "status": tenant.status}
+
+    def status(self) -> Dict[str, Any]:
+        """One-frame operational picture: tenants, telemetry,
+        durability mode and the stats of the last recovery pass."""
+        with self._lock:
+            infos = [tenant.info() for _, tenant
+                     in sorted(self._tenants.items())]
+        return {
+            "durable": self.state is not None,
+            "tenants": infos,
+            "telemetry": self.telemetry_snapshot(),
+            "recovery": (self.last_recovery.to_dict()
+                         if self.last_recovery is not None else None),
+        }
 
     def telemetry_snapshot(self) -> Dict[str, Any]:
         snap = self.telemetry.snapshot()
         with self._lock:
             by_status: Dict[str, int] = {}
+            quarantined: Dict[str, Optional[str]] = {}
             for tenant in self._tenants.values():
                 by_status[tenant.status] = (
                     by_status.get(tenant.status, 0) + 1)
+                if tenant.status == QUARANTINED:
+                    quarantined[tenant.config.name] = (
+                        tenant.quarantine_reason)
         snap["tenants"] = by_status
+        snap["quarantined"] = quarantined
+        if self.last_recovery is not None:
+            snap["recovery"] = self.last_recovery.to_dict()
         return snap
+
+    # -- Crash recovery ------------------------------------------------
+
+    def recover(self) -> RecoveryStats:
+        """Rebuild every durable tenant from its snapshot + op log.
+
+        Each tenant directory is restored independently: the newest
+        digest-verified snapshot (if any) seeds the live state, then
+        every journaled op past it is *re-executed* through the same
+        code paths that served it originally. Replayed ``advance``
+        replies are compared bitwise against the journaled replies —
+        the determinism invariant of DESIGN.md §19 — and a tenant
+        whose replay diverges is quarantined instead of being served
+        in a silently different state. Corrupt snapshots were already
+        quarantined by the store; the op log is never compacted, so
+        full replay always remains as the fallback.
+        """
+        stats = RecoveryStats()
+        assert self.state is not None
+        for store in self.state.iter_stores():
+            self._recover_tenant(store, stats)
+        tele = self.telemetry
+        tele.incr("tenants_recovered", stats.tenants_recovered)
+        tele.incr("ops_replayed", stats.ops_replayed)
+        tele.incr("snapshot_restores", stats.snapshot_restores)
+        tele.incr("snapshot_quarantines", stats.snapshot_quarantines)
+        tele.incr("replay_divergences", stats.tenants_quarantined)
+        return stats
+
+    def _recover_tenant(self, store: TenantStore,
+                        stats: RecoveryStats) -> None:
+        records = store.oplog.records
+        if not records or records[0].rtype != "register":
+            # The daemon died between creating the directory and
+            # appending the register op: the client never saw a
+            # reply, so there is nothing admitted to restore.
+            return
+        name = records[0].payload["tenant"]
+        config = build_config(dict(records[0].payload))
+        tenant: Optional[Tenant] = None
+        start = 1
+        snap = store.load_snapshot()
+        stats.snapshot_quarantines += store.snapshot_quarantines
+        if snap is not None:
+            seq, state = snap
+            usable = (state.get("format") == SNAPSHOT_FORMAT
+                      and state.get("name") == name
+                      and 0 <= seq < len(records))
+            if usable:
+                tenant = Tenant(config, state["stepper"])
+                tenant.dedup = OrderedDict(state["dedup"])
+                tenant.status = state["status"]
+                tenant.quarantine_reason = state["quarantine_reason"]
+                tenant.last_tier = state["last_tier"]
+                tenant._last_snapshot_seq = seq
+                start = seq + 1
+                stats.snapshot_restores += 1
+        if tenant is None:
+            chip = self._factory(config.n_cores, config.seed).chip(0)
+            tenant = Tenant(config, build_stepper(config, chip))
+            tenant.remember_reply(records[0].request_id,
+                                  records[0].reply)
+        tenant.store = store
+        for record in records[start:]:
+            problem = self._replay_op(tenant, record)
+            if problem is not None:
+                tenant.status = QUARANTINED
+                tenant.quarantine_reason = problem
+                stats.tenants_quarantined += 1
+                stats.quarantine_reasons[name] = problem
+                break
+            tenant.remember_reply(record.request_id, record.reply)
+            stats.ops_replayed += 1
+        with self._lock:
+            self._tenants[name] = tenant
+        stats.tenants_recovered += 1
+
+    def _replay_op(self, tenant: Tenant, record) -> Optional[str]:
+        """Re-execute one journaled op; a description of the problem
+        if the op cannot be replayed faithfully, else None."""
+        payload = record.payload
+        try:
+            if record.rtype == "advance":
+                decisions = tenant.advance(payload.get("until_s"),
+                                           payload.get("to_end",
+                                                       False))
+                replayed = {
+                    "tenant": tenant.config.name,
+                    "time_s": tenant.stepper.time_s,
+                    "finished": tenant.stepper.finished,
+                    "decisions": [decision_to_dict(d)
+                                  for d in decisions],
+                }
+                if replayed != record.reply:
+                    return (f"replay divergence at op {record.seq}: "
+                            f"re-executed advance disagrees with the "
+                            f"journaled reply")
+            elif record.rtype == "inject":
+                manager = tenant.stepper.sim.manager
+                if not isinstance(manager, ResilientManager):
+                    return (f"op {record.seq} injects into a "
+                            f"non-resilient manager")
+                manager.inject_failure(payload["kind"])
+            elif record.rtype == "sensor_feed":
+                bank = tenant.stepper.sim.sensor_bank
+                if bank is None:
+                    return (f"op {record.seq} feeds a tenant with "
+                            f"no sensor bank")
+                fed = bank.feed(
+                    [float(v) for v in payload["core_values"]],
+                    payload.get("uncore_value"))
+                replayed = {"tenant": tenant.config.name, **fed}
+                if replayed != record.reply:
+                    return (f"replay divergence at op {record.seq}: "
+                            f"re-executed sensor_feed disagrees "
+                            f"with the journaled reply")
+            else:
+                return (f"op {record.seq} has unknown type "
+                        f"{record.rtype!r}")
+        except Exception as exc:
+            return (f"replay failed at op {record.seq}: "
+                    f"{type(exc).__name__}: {exc}")
+        return None

@@ -1,0 +1,436 @@
+"""Crash-recoverable tenant state: write-ahead op logs + snapshots.
+
+The daemon holds every tenant in RAM; this module is what makes a
+SIGKILL survivable. Each tenant owns one directory under the daemon's
+*state dir* holding two kinds of files:
+
+* an append-only **op log** (``oplog.jsonl``) journaling every
+  state-mutating admitted request — ``register``, ``advance``,
+  ``inject``, ``sensor_feed`` — together with the reply that was sent.
+  The append discipline is :class:`repro.parallel.journal.RunJournal`'s:
+  a single ``write`` of one ``\\n``-terminated line to an ``O_APPEND``
+  handle, fsynced before the reply leaves the daemon, so an op is
+  either fully journaled or not journaled at all. Replay is
+  torn-tail-tolerant (a crash mid-append leaves at most one bad tail
+  line, which the next append truncates away) and every record carries
+  a sha256 content key over its sequence number, type and payload, so
+  a bit-flipped record stops replay at the last trustworthy prefix
+  instead of resurrecting garbage.
+
+* periodic **snapshots** (``snapshot-<seq>.bin``): a pickle of the
+  tenant's live stepper state at op-log sequence ``seq``, written via
+  ``mkstemp`` + ``os.replace`` with a sidecar sha256 digest. A
+  restarted daemon restores from the newest snapshot and replays only
+  the ops past it, bounding recovery cost; a snapshot that fails its
+  digest is *quarantined* (moved to ``<state_dir>/quarantine/`` next
+  to a ``*.reason.json``, mirroring the characterisation cache) and
+  recovery falls back to full replay from the op log — which is never
+  compacted away, precisely so that fallback always exists.
+
+Because a tenant rebuilt by replay re-executes the same deterministic
+:class:`~repro.runtime.SimulationStepper` code path as the original
+run, its decision stream is bitwise-identical to an uninterrupted
+run — the invariant the SIGKILL-restart chaos test pins.
+
+This module is storage only: no transport, no simulation imports. The
+controller decides *what* to journal and *how* to rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Bump whenever the op-record shape or key recipe changes; part of
+#: every record key, so old logs simply stop verifying (and recovery
+#: quarantines them instead of misreading them).
+OPLOG_TAG = "daemon-oplog-v1"
+
+#: Snapshot container version, embedded in the sidecar metadata.
+SNAPSHOT_FORMAT = 1
+
+OPLOG_FILENAME = "oplog.jsonl"
+
+#: Per-tenant idempotency window: how many recent ``request_id`` ->
+#: reply pairs are kept for duplicate-request replay.
+DEDUP_WINDOW = 64
+
+PathLike = Union[str, pathlib.Path]
+
+
+class OpLogError(RuntimeError):
+    """An op log exists but cannot be trusted past some prefix."""
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot exists but fails digest/format verification."""
+
+
+def tenant_dir_name(tenant: str) -> str:
+    """Filesystem-safe directory name for one tenant.
+
+    Tenant names are arbitrary 1..128-char strings; the directory is
+    addressed by a content hash (the human name is recovered from the
+    journaled ``register`` op). A short sanitised prefix keeps the
+    tree greppable.
+    """
+    digest = hashlib.sha256(tenant.encode("utf-8")).hexdigest()[:16]
+    prefix = "".join(c if c.isalnum() or c in "-_" else "_"
+                     for c in tenant)[:24]
+    return f"{prefix}-{digest}" if prefix else digest
+
+
+def op_key(seq: int, rtype: str, payload: Dict[str, Any]) -> str:
+    """Content key of one op record (RunJournal's unit-key idiom).
+
+    Pins the op's position (``seq``), verb and canonical payload, so
+    replay detects both bit rot and any attempt to reorder records.
+    """
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    parts = [f"tag={OPLOG_TAG}", f"seq={int(seq)}", f"type={rtype}",
+             f"payload={canonical}"]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class OpRecord:
+    """One journaled state-mutating request and its reply."""
+
+    seq: int
+    rtype: str
+    payload: Dict[str, Any]
+    reply: Dict[str, Any]
+    request_id: Optional[str] = None
+
+    def to_line(self) -> Dict[str, Any]:
+        return {
+            "kind": "op",
+            "seq": self.seq,
+            "type": self.rtype,
+            "payload": self.payload,
+            "reply": self.reply,
+            "request_id": self.request_id,
+            "key": op_key(self.seq, self.rtype, self.payload),
+            "t_unix_s": time.time(),
+        }
+
+    @classmethod
+    def from_line(cls, obj: Dict[str, Any]) -> "OpRecord":
+        seq = int(obj["seq"])
+        rtype = obj["type"]
+        payload = obj["payload"]
+        if obj["key"] != op_key(seq, rtype, payload):
+            raise OpLogError(f"op record {seq} fails its content key")
+        return cls(seq=seq, rtype=rtype, payload=payload,
+                   reply=obj["reply"],
+                   request_id=obj.get("request_id"))
+
+
+class OpLog:
+    """Append-only write-ahead log of one tenant's admitted ops.
+
+    Construction replays the existing file (if any); appends are a
+    single durable write each, truncating at most one untrusted tail
+    left by a previous crash. Replay stops at the first record that is
+    torn, malformed, out of sequence or fails its content key — the
+    suffix past that point is untrusted and will be truncated by the
+    next append.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.records: List[OpRecord] = []
+        self._good_bytes = 0
+        self._replay()
+
+    @property
+    def next_seq(self) -> int:
+        return (self.records[-1].seq + 1) if self.records else 0
+
+    def _replay(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return
+        good = 0
+        expect = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn tail: crash mid-append
+            try:
+                record = OpRecord.from_line(
+                    json.loads(line.decode("utf-8")))
+            except (ValueError, KeyError, TypeError,
+                    UnicodeDecodeError, OpLogError):
+                break  # stop trusting anything after a bad record
+            if record.seq != expect:
+                break  # reordered/spliced log: untrusted from here
+            self.records.append(record)
+            expect += 1
+            good += len(line)
+        self._good_bytes = good
+
+    def append(self, rtype: str, payload: Dict[str, Any],
+               reply: Dict[str, Any],
+               request_id: Optional[str] = None) -> OpRecord:
+        """Durably journal one op (single write + fsync)."""
+        record = OpRecord(seq=self.next_seq, rtype=rtype,
+                          payload=payload, reply=reply,
+                          request_id=request_id)
+        line = (json.dumps(record.to_line(), sort_keys=True)
+                + "\n").encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if os.fstat(fd).st_size > self._good_bytes:
+                os.ftruncate(fd, self._good_bytes)
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._good_bytes += len(line)
+        self.records.append(record)
+        return record
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+
+
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".bin"
+
+
+def _snapshot_name(seq: int) -> str:
+    return f"{_SNAPSHOT_PREFIX}{int(seq):012d}{_SNAPSHOT_SUFFIX}"
+
+
+def _snapshot_seq(name: str) -> Optional[int]:
+    if (not name.startswith(_SNAPSHOT_PREFIX)
+            or not name.endswith(_SNAPSHOT_SUFFIX)):
+        return None
+    digits = name[len(_SNAPSHOT_PREFIX):-len(_SNAPSHOT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+@dataclass
+class RecoveryStats:
+    """What one recovery pass did (surfaced through telemetry)."""
+
+    tenants_recovered: int = 0
+    ops_replayed: int = 0
+    snapshot_restores: int = 0
+    snapshot_quarantines: int = 0
+    tenants_quarantined: int = 0
+    quarantine_reasons: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenants_recovered": self.tenants_recovered,
+            "ops_replayed": self.ops_replayed,
+            "snapshot_restores": self.snapshot_restores,
+            "snapshot_quarantines": self.snapshot_quarantines,
+            "tenants_quarantined": self.tenants_quarantined,
+            "quarantine_reasons": dict(self.quarantine_reasons),
+        }
+
+
+class TenantStore:
+    """One tenant's durable footprint: op log plus snapshots.
+
+    Layout under the tenant directory::
+
+        oplog.jsonl               append-only write-ahead op log
+        snapshot-<seq>.bin        pickled stepper state at op <seq>
+        snapshot-<seq>.meta.json  {format, seq, sha256, t_unix_s}
+
+    Only the newest snapshot is kept (*compaction*): writing a new one
+    atomically replaces the pair and unlinks older generations. The
+    op log itself is never compacted — it is the fallback that makes a
+    corrupt snapshot survivable.
+    """
+
+    def __init__(self, root: PathLike,
+                 quarantine_root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.quarantine_root = pathlib.Path(quarantine_root)
+        self.oplog = OpLog(self.root / OPLOG_FILENAME)
+        #: Snapshots this store quarantined (during load_snapshot).
+        self.snapshot_quarantines = 0
+
+    # -- snapshots ---------------------------------------------------
+
+    def _snapshots_on_disk(self) -> List[Tuple[int, pathlib.Path]]:
+        if not self.root.is_dir():
+            return []
+        found = []
+        for entry in self.root.iterdir():
+            seq = _snapshot_seq(entry.name)
+            if seq is not None:
+                found.append((seq, entry))
+        return sorted(found)
+
+    def write_snapshot(self, seq: int, state: Any) -> pathlib.Path:
+        """Atomically persist a snapshot of the tenant at op ``seq``.
+
+        ``state`` is whatever the controller wants back verbatim on
+        restore (the pickled stepper plus bookkeeping). Older
+        snapshots are removed afterwards — compaction keeps exactly
+        one generation, and the op log guarantees the fallback.
+        """
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / _snapshot_name(seq)
+        meta_path = path.with_suffix(".meta.json")
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        meta = {"format": SNAPSHOT_FORMAT, "seq": int(seq),
+                "sha256": digest, "t_unix_s": time.time()}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(meta, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, meta_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        for old_seq, old_path in self._snapshots_on_disk():
+            if old_seq != seq:
+                for p in (old_path,
+                          old_path.with_suffix(".meta.json")):
+                    try:
+                        os.unlink(p)
+                    except OSError:
+                        pass
+        return path
+
+    def _quarantine_snapshot(self, path: pathlib.Path,
+                             reason: str) -> None:
+        """Move a corrupt snapshot (and its sidecar) aside, with a
+        structured reason record — the cache-quarantine idiom."""
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        stamp = f"{self.root.name}-{path.name}"
+        for p in (path, path.with_suffix(".meta.json")):
+            try:
+                os.replace(
+                    p,
+                    self.quarantine_root
+                    / f"{self.root.name}-{p.name}")
+            except OSError:
+                try:
+                    os.unlink(p)
+                except OSError:
+                    pass
+        record = {
+            "tenant_dir": self.root.name,
+            "snapshot": path.name,
+            "reason": reason,
+            "quarantined_at_unix_s": time.time(),
+        }
+        try:
+            (self.quarantine_root / f"{stamp}.reason.json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def load_snapshot(self) -> Optional[Tuple[int, Any]]:
+        """The newest verifiable snapshot, or None.
+
+        A snapshot that fails its digest (or cannot be read/unpickled)
+        is quarantined and the next-older one is tried; with none left
+        the caller falls back to full op-log replay. Quarantines are
+        visible in :attr:`snapshot_quarantines`.
+        """
+        for seq, path in reversed(self._snapshots_on_disk()):
+            meta_path = path.with_suffix(".meta.json")
+            try:
+                meta = json.loads(meta_path.read_text())
+                if int(meta["format"]) > SNAPSHOT_FORMAT:
+                    raise SnapshotError(
+                        f"snapshot format {meta['format']} is newer "
+                        f"than supported {SNAPSHOT_FORMAT}")
+                blob = path.read_bytes()
+                if hashlib.sha256(blob).hexdigest() != meta["sha256"]:
+                    raise SnapshotError("snapshot digest mismatch")
+                state = pickle.loads(blob)
+            except (OSError, ValueError, KeyError, TypeError,
+                    pickle.UnpicklingError, EOFError,
+                    AttributeError, SnapshotError) as exc:
+                self.snapshot_quarantines += 1
+                self._quarantine_snapshot(
+                    path, f"{type(exc).__name__}: {exc}")
+                continue
+            return int(meta["seq"]), state
+        return None
+
+
+class StateDir:
+    """The daemon's durable root: one subdirectory per tenant.
+
+    Layout::
+
+        <state_dir>/tenants/<tenant-dir>/...   (see TenantStore)
+        <state_dir>/quarantine/                corrupt snapshots
+
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    @property
+    def tenants_root(self) -> pathlib.Path:
+        return self.root / "tenants"
+
+    @property
+    def quarantine_root(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
+    def store_for(self, tenant: str) -> TenantStore:
+        return TenantStore(self.tenants_root / tenant_dir_name(tenant),
+                           self.quarantine_root)
+
+    def iter_stores(self) -> List[TenantStore]:
+        """Stores of every tenant directory on disk, name order."""
+        if not self.tenants_root.is_dir():
+            return []
+        return [TenantStore(p, self.quarantine_root)
+                for p in sorted(self.tenants_root.iterdir())
+                if p.is_dir()]
+
+    def remove_tenant(self, tenant: str) -> None:
+        """Delete one tenant's durable state (unregister)."""
+        shutil.rmtree(self.tenants_root / tenant_dir_name(tenant),
+                      ignore_errors=True)
+
+    def clear(self) -> None:
+        """Delete everything (the ``--fresh`` flag)."""
+        shutil.rmtree(self.root, ignore_errors=True)

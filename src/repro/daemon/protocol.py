@@ -13,6 +13,17 @@ overruns the transport's hard limit (:func:`hard_limit`) — the stream
 is no longer frame-aligned at that point, so the connection must be
 dropped after the error reply.
 
+**Idempotency.** State-mutating requests (``register``, ``advance``,
+``inject``, ``sensor_feed``) accept an optional client-chosen
+``request_id`` string, distinct from the per-connection ``id``: while
+``id`` only matches a reply to a pipelined request, ``request_id``
+names the *operation* across connections. A daemon running with a
+state dir journals each admitted op's reply under its ``request_id``
+(a bounded per-tenant dedup window), so a client that reconnects
+after a daemon restart and retries the same ``request_id`` gets the
+original reply **replayed, not re-executed** — a mid-request crash is
+invisible to a retrying caller.
+
 Frame shapes::
 
     request:  {"v": 1, "type": "<name>", "id": <any>, ...payload}

@@ -142,7 +142,24 @@ def _check_policy(value: Any) -> Optional[str]:
     return None
 
 
+def _check_core_values(value: Any) -> Optional[str]:
+    if not value or len(value) > 64:
+        return "must list 1..64 measurements"
+    for i, v in enumerate(value):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            return f"entry {i} must be a number"
+        if not (-1e9 < float(v) < 1e9):
+            return f"entry {i} must be finite"
+    return None
+
+
 _TENANT = Field("tenant", (str,), required=True, check=_nonempty_str)
+
+#: Client-supplied idempotency token: a daemon with a state dir
+#: journals the reply under it, so a retried request (e.g. after a
+#: reconnect) replays the original reply instead of re-executing.
+_REQUEST_ID = Field("request_id", (str,), default=None,
+                    check=_nonempty_str)
 
 #: Request type -> payload field specs. The payload is everything in
 #: the frame besides :data:`ENVELOPE_KEYS`.
@@ -167,11 +184,22 @@ REQUESTS: Dict[str, Tuple[Field, ...]] = {
               check=_non_negative),
         Field("watchdog", (bool,), default=False),
         Field("faults", (list,), default=None, check=_check_faults),
+        _REQUEST_ID,
     ),
     "advance": (
         _TENANT,
         Field("until_s", (int, float), default=None, check=_positive),
         Field("to_end", (bool,), default=False),
+        _REQUEST_ID,
+    ),
+    "sensor_feed": (
+        _TENANT,
+        Field("core_values", (list,), required=True,
+              check=_check_core_values),
+        Field("uncore_value", (int, float), default=None,
+              check=lambda v: None if -1e9 < float(v) < 1e9
+              else "must be finite"),
+        _REQUEST_ID,
     ),
     "subscribe": (
         Field("tenant", (str,), required=True, check=_nonempty_str),
@@ -185,6 +213,7 @@ REQUESTS: Dict[str, Tuple[Field, ...]] = {
               check=lambda v: None if v in ("manager_error",
                                             "manager_deadline")
               else "must be manager_error or manager_deadline"),
+        _REQUEST_ID,
     ),
     "tenant_info": (_TENANT,),
     "timeline": (
@@ -196,6 +225,7 @@ REQUESTS: Dict[str, Tuple[Field, ...]] = {
     "trace": (_TENANT,),
     "unregister": (_TENANT,),
     "telemetry": (),
+    "status": (),
     "ping": (),
     "drain": (),
     "shutdown": (),

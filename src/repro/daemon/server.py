@@ -127,6 +127,9 @@ class DaemonServer:
         self.address: Tuple[str, int] = (host, port)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
+        #: Event drops attributed to the tenant whose event overflowed
+        #: a queue (surfaced in heartbeats and `daemon status`).
+        self._dropped_by_tenant: Dict[str, int] = {}
         self._inflight = 0
         self._idle = asyncio.Event()
         self._idle.set()
@@ -199,8 +202,7 @@ class DaemonServer:
             await asyncio.sleep(period)
             if self.heartbeat_interval_s is not None:
                 self._publish(None, "heartbeat",
-                              {"tenants": len(
-                                  self.controller.tenants())})
+                              self._heartbeat_data())
             if self.idle_timeout_s is None:
                 continue
             now = time.monotonic()
@@ -208,6 +210,20 @@ class DaemonServer:
                 if now - conn.last_activity > self.idle_timeout_s:
                     self.telemetry.incr("idle_reaped")
                     await self._close(conn)
+
+    def _heartbeat_data(self) -> Dict[str, Any]:
+        """Liveness payload: tenant count plus the loss/recovery
+        facts a subscriber needs to judge its own stream health."""
+        controller = self.controller
+        data: Dict[str, Any] = {
+            "tenants": len(controller.tenants()),
+            "dropped_frames": self.telemetry.get("dropped_frames"),
+            "dropped_by_tenant": dict(self._dropped_by_tenant),
+            "quarantined": controller.quarantined(),
+        }
+        if controller.last_recovery is not None:
+            data["recovery"] = controller.last_recovery.to_dict()
+        return data
 
     # -- Writing -------------------------------------------------------
 
@@ -239,13 +255,21 @@ class DaemonServer:
                     conn.queue.task_done()
                 except asyncio.QueueEmpty:
                     pass
-                self.telemetry.incr("dropped_frames")
+                self._count_drop(tenant)
                 try:
                     conn.queue.put_nowait(frame)
                 except asyncio.QueueFull:
-                    self.telemetry.incr("dropped_frames")
+                    self._count_drop(tenant)
                     continue
             self.telemetry.incr("events_published")
+
+    def _count_drop(self, tenant: Optional[str]) -> None:
+        """Account one dropped event frame, attributed to the tenant
+        whose publication overflowed the queue (loop thread only)."""
+        self.telemetry.incr("dropped_frames")
+        key = tenant if tenant is not None else "<daemon>"
+        self._dropped_by_tenant[key] = (
+            self._dropped_by_tenant.get(key, 0) + 1)
 
     async def _drain_queue(self, conn: _Connection) -> None:
         while True:
@@ -362,7 +386,7 @@ class DaemonServer:
             try:
                 result = await self._run_blocking(
                     self._advance, name, payload["until_s"],
-                    payload["to_end"])
+                    payload["to_end"], payload["request_id"])
             except ProtocolError as exc:
                 if exc.code == "quarantined":
                     self._publish(name, "quarantined",
@@ -377,8 +401,18 @@ class DaemonServer:
                               {"time_s": result["time_s"]})
             return result
         if rtype == "inject":
-            return controller.inject(payload["tenant"],
-                                     payload["kind"])
+            # Takes the tenant lock (may wait behind a long advance)
+            # so it must not run on the loop thread.
+            return await self._run_blocking(
+                controller.inject, payload["tenant"],
+                payload["kind"], payload["request_id"])
+        if rtype == "sensor_feed":
+            result = await self._run_blocking(
+                self._sensor_feed, payload)
+            self._publish(payload["tenant"], "sensor_feed",
+                          {k: result[k] for k in
+                           ("core_values", "uncore_value", "clamped")})
+            return result
         if rtype == "tenant_info":
             return controller.tenant_info(payload["tenant"])
         if rtype == "timeline":
@@ -390,6 +424,12 @@ class DaemonServer:
             return controller.unregister(payload["tenant"])
         if rtype == "telemetry":
             return controller.telemetry_snapshot()
+        if rtype == "status":
+            status = controller.status()
+            status["dropped_by_tenant"] = dict(
+                self._dropped_by_tenant)
+            status["draining"] = self.draining
+            return status
         if rtype == "drain":
             self.draining = True
             return {"draining": True}
@@ -401,8 +441,16 @@ class DaemonServer:
                             f"unrouted request type {rtype!r}")
 
     def _advance(self, name: str, until_s: Optional[float],
-                 to_end: bool) -> Dict[str, Any]:
-        return self.controller.advance(name, until_s, to_end)
+                 to_end: bool,
+                 request_id: Optional[str]) -> Dict[str, Any]:
+        return self.controller.advance(name, until_s, to_end,
+                                       request_id=request_id)
+
+    def _sensor_feed(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.controller.sensor_feed(
+            payload["tenant"], payload["core_values"],
+            uncore_value=payload["uncore_value"],
+            request_id=payload["request_id"])
 
 
 class ServerThread:

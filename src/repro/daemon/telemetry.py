@@ -45,6 +45,18 @@ COUNTER_FIELDS = (
     "tier2_decisions",
     "tier_transitions",
     "lp_fallbacks",
+    # Sensor-event ingestion.
+    "sensor_feeds",
+    "sensor_feed_clamps",
+    # Durability: write-ahead logging, idempotency, recovery.
+    "oplog_appends",
+    "snapshots_written",
+    "deduped_requests",
+    "tenants_recovered",
+    "ops_replayed",
+    "snapshot_restores",
+    "snapshot_quarantines",
+    "replay_divergences",
 )
 
 #: Latency reservoir depth per operation (recent-window percentiles).

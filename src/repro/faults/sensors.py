@@ -85,6 +85,20 @@ class FaultableSensor:
         self._last_good = value
         return value
 
+    def feed(self, value: float) -> float:
+        """Ingest an externally measured value through the clamp.
+
+        The daemon's ``sensor_feed`` path: a client-supplied
+        measurement is bounded by the same plausibility clamp every
+        model-driven reading passes through, then adopted as the
+        channel's last-known-good — so a later ``dead`` fault reports
+        the fed measurement, exactly as it would the last healthy
+        read. Returns the clamped value actually adopted.
+        """
+        value = self._clamp(float(value))
+        self._last_good = value
+        return value
+
     def apply(self, event: FaultEvent) -> None:
         """Transition health state per a sensor fault event."""
         if event.kind not in SENSOR_KINDS:
@@ -159,6 +173,36 @@ class SensorBank:
         channel = (self.uncore if event.target < 0
                    else self.core(event.target))
         channel.apply(event)
+
+    def feed(self, core_values: Sequence[float],
+             uncore_value: Optional[float] = None) -> dict:
+        """Ingest external measurements through every clamp.
+
+        ``core_values`` feeds channels ``0..len-1`` (at most
+        :attr:`n_cores` entries); ``uncore_value`` feeds the uncore
+        channel. Returns the adopted (clamped) values plus how many
+        were clamped — the daemon surfaces that count as its
+        ``sensor_feed_clamps`` telemetry.
+        """
+        if len(core_values) > self.n_cores:
+            raise ValueError(
+                f"{len(core_values)} core values for "
+                f"{self.n_cores} core channels")
+        accepted = []
+        clamped = 0
+        for core_id, value in enumerate(core_values):
+            adopted = self.core(core_id).feed(value)
+            accepted.append(adopted)
+            if adopted != float(value):
+                clamped += 1
+        uncore_adopted = None
+        if uncore_value is not None:
+            uncore_adopted = self.uncore.feed(uncore_value)
+            if uncore_adopted != float(uncore_value):
+                clamped += 1
+        return {"core_values": accepted,
+                "uncore_value": uncore_adopted,
+                "clamped": clamped}
 
     def read_chip(self, core_ids: Sequence[int],
                   core_values: Sequence[float],

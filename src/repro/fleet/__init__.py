@@ -28,11 +28,15 @@ from .quantiles import (
     RunningMoments,
 )
 from .shards import (
+    SHARD_FORMAT,
     ShardInfo,
+    ShardIntegrityError,
     coverage_ranges,
     iter_shards,
     load_shard,
     missing_ranges,
+    quarantine_shard,
+    shard_digest,
     write_shard,
 )
 
@@ -44,7 +48,9 @@ __all__ = [
     "FleetPlan",
     "P2Quantile",
     "RunningMoments",
+    "SHARD_FORMAT",
     "ShardInfo",
+    "ShardIntegrityError",
     "coverage_ranges",
     "fleet_die_metrics",
     "iter_shards",
@@ -52,7 +58,9 @@ __all__ = [
     "load_summary",
     "merge_campaigns",
     "missing_ranges",
+    "quarantine_shard",
     "run_fleet_campaign",
+    "shard_digest",
     "summarize_shards",
     "write_shard",
 ]

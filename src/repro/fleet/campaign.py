@@ -44,7 +44,13 @@ from ..runtime.kernel import FleetEvalKernel
 from ..thermal.hotspot import ThermalNetwork
 from ..workloads import SPEC_APPS, Workload
 from .quantiles import FleetAccumulator
-from .shards import iter_shards, load_shard, shard_name, write_shard
+from .shards import (
+    ShardIntegrityError,
+    iter_shards,
+    load_shard,
+    shard_name,
+    write_shard,
+)
 
 __all__ = [
     "FLEET_ARCH",
@@ -453,7 +459,13 @@ def summarize_shards(shard_dir: Union[str, pathlib.Path],
     """
     acc = FleetAccumulator(dict(spec or DEFAULT_METRIC_SPEC))
     for info in iter_shards(shard_dir):
-        cols = load_shard(info.path)
+        try:
+            cols = load_shard(info.path)
+        except ShardIntegrityError:
+            # The shard was quarantined by load_shard; its range now
+            # reads as a coverage gap for a resumed campaign to
+            # recompute rather than a poisoned contribution.
+            continue
         acc.add_dies({k: v for k, v in cols.items() if k != "die"})
     return acc
 

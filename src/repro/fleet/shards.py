@@ -12,32 +12,61 @@ a shard from journaled results is an atomic no-op-shaped replace.
 File naming is the range: ``shard-<start>-<end>.npz`` with zero-padded
 8-digit bounds, so a plain lexicographic directory listing is already
 die order and coverage/gap analysis needs no index file.
+
+Integrity (format v2): every shard embeds a sha256 digest over its
+column *data* (names, dtypes, shapes, bytes — not the zip container,
+whose member timestamps make file bytes unstable across runs).
+:func:`load_shard` verifies the digest and *quarantines* a corrupt
+shard — moves it to ``<shard_dir>/quarantine/`` beside a structured
+``<name>.reason.json``, the characterisation-cache idiom — so the
+range reads as a coverage gap and a resumed campaign recomputes it
+instead of folding silent bit rot into fleet statistics. v1 shards
+(no digest member) load transparently, unverified.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pathlib
 import re
 import tempfile
+import time
+import zipfile
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
 
 __all__ = [
+    "SHARD_FORMAT",
     "ShardInfo",
+    "ShardIntegrityError",
     "coverage_ranges",
     "iter_shards",
     "load_shard",
     "missing_ranges",
+    "quarantine_shard",
+    "shard_digest",
     "shard_name",
     "write_shard",
 ]
 
+#: Shard container format. v1 had no integrity members; v2 adds the
+#: ``__format__`` and ``__digest__`` members checked on load.
+SHARD_FORMAT = 2
+
+#: npz members that carry metadata rather than per-die columns.
+_META_MEMBERS = ("__format__", "__digest__")
+
 _SHARD_RE = re.compile(r"^shard-(\d{8})-(\d{8})\.npz$")
 
 PathLike = Union[str, pathlib.Path]
+
+
+class ShardIntegrityError(RuntimeError):
+    """A shard failed its digest (it has been quarantined)."""
 
 
 def shard_name(start: int, end: int) -> str:
@@ -60,6 +89,45 @@ class ShardInfo:
     @property
     def n_dies(self) -> int:
         return self.end - self.start
+
+
+def shard_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """Canonical sha256 over column data (container-independent).
+
+    Hashes sorted names with each column's dtype, shape and raw
+    C-order bytes, so the digest survives re-zipping (npz member
+    timestamps) and pins exactly what the statistics consume.
+    """
+    h = hashlib.sha256(b"fleet-shard-v2\n")
+    for name in sorted(arrays):
+        if name in _META_MEMBERS:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(f"{name}\n{arr.dtype.str}\n{arr.shape}\n".encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def quarantine_shard(path: PathLike, reason: str) -> pathlib.Path:
+    """Move a corrupt shard aside with a structured reason record.
+
+    The shard lands in ``<shard_dir>/quarantine/`` next to a
+    ``<name>.reason.json``; its die range becomes a coverage gap that
+    :func:`missing_ranges` reports and a resumed campaign recomputes.
+    """
+    path = pathlib.Path(path)
+    qdir = path.parent / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    os.replace(path, target)
+    record = {
+        "shard": path.name,
+        "reason": reason,
+        "quarantined_at_unix_s": time.time(),
+    }
+    (qdir / f"{path.name}.reason.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return target
 
 
 def write_shard(shard_dir: PathLike, start: int, end: int,
@@ -87,7 +155,11 @@ def write_shard(shard_dir: PathLike, start: int, end: int,
                 f"({n},) for die range [{start}, {end})")
         if name == "die":
             raise ValueError("'die' is the implicit index column")
+        if name in _META_MEMBERS:
+            raise ValueError(f"{name!r} is a reserved member name")
         arrays[name] = arr
+    arrays["__format__"] = np.int64(SHARD_FORMAT)
+    arrays["__digest__"] = np.array(shard_digest(arrays))
     shard_dir.mkdir(parents=True, exist_ok=True)
     path = shard_dir / shard_name(start, end)
     fd, tmp_name = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
@@ -104,10 +176,39 @@ def write_shard(shard_dir: PathLike, start: int, end: int,
     return path
 
 
-def load_shard(path: PathLike) -> Dict[str, np.ndarray]:
-    """Load one shard's columns as plain in-memory arrays."""
-    with np.load(pathlib.Path(path)) as data:
-        return {name: data[name].copy() for name in data.files}
+def load_shard(path: PathLike,
+               verify: bool = True) -> Dict[str, np.ndarray]:
+    """Load one shard's columns as plain in-memory arrays.
+
+    A v2 shard is digest-verified (``verify=False`` skips it); one
+    that is unreadable or fails its digest is quarantined via
+    :func:`quarantine_shard` and raised as
+    :class:`ShardIntegrityError`. A v1 shard — no digest member —
+    loads transparently, unverified.
+    """
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        quarantine_shard(path, f"unreadable: {type(exc).__name__}: "
+                               f"{exc}")
+        raise ShardIntegrityError(
+            f"{path.name} is unreadable and was quarantined: "
+            f"{exc}") from exc
+    stored = arrays.pop("__digest__", None)
+    arrays.pop("__format__", None)
+    if verify and stored is not None:
+        expect = str(stored)
+        actual = shard_digest(arrays)
+        if actual != expect:
+            quarantine_shard(
+                path, f"digest mismatch: stored {expect}, "
+                      f"computed {actual}")
+            raise ShardIntegrityError(
+                f"{path.name} failed its content digest and was "
+                f"quarantined")
+    return arrays
 
 
 def iter_shards(shard_dir: PathLike) -> Iterator[ShardInfo]:

@@ -47,6 +47,7 @@ build without it. Fault injection requires ``mode="event"``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -756,6 +757,25 @@ class SimulationStepper:
         while self._step < self._n_steps:
             self._advance_span()
         return list(self.decisions[first:])
+
+    def decision_digest(self) -> str:
+        """sha256 over the decision stream taken so far.
+
+        The replay-determinism hook: two steppers that executed the
+        same run — no matter how the advances were chunked, or
+        whether one of them was rebuilt by the daemon's crash
+        recovery — produce the same digest, and any divergence
+        (reordered, dropped or altered actuation) changes it. Floats
+        are hashed via ``repr``, which round-trips IEEE-754 doubles
+        exactly, so the comparison is bitwise, not approximate.
+        """
+        h = hashlib.sha256(b"decision-stream-v1\n")
+        for d in self.decisions:
+            h.update((f"{d.time_s!r}|{d.kind}|{list(d.levels)!r}|"
+                      f"{list(d.core_of)!r}|{list(d.migrated)!r}|"
+                      f"{d.resilience_tier}|{d.lp_fallbacks}|"
+                      f"{d.evaluations}\n").encode("utf-8"))
+        return h.hexdigest()
 
     # -- The event loop body ------------------------------------------
 

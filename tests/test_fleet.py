@@ -41,7 +41,14 @@ from repro.fleet import (
     write_shard,
 )
 from repro.fleet.quantiles import exact_quantile
-from repro.fleet.shards import iter_shards, shard_name
+from repro.fleet.shards import (
+    SHARD_FORMAT,
+    ShardIntegrityError,
+    iter_shards,
+    quarantine_shard,
+    shard_digest,
+    shard_name,
+)
 from repro.parallel import (
     HostSlice,
     IncompleteJournalError,
@@ -380,6 +387,91 @@ class TestShards:
         write_shard(tmp_path, 4, 12, {"a": np.zeros(8)})
         with pytest.raises(ValueError, match="overlapping"):
             coverage_ranges(tmp_path)
+
+
+class TestShardIntegrity:
+    def _tamper(self, path):
+        """Flip one column's data while keeping the stored digest."""
+        with np.load(path) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        arrays["a"] = arrays["a"] + 1.0
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+
+    def test_v2_embeds_format_and_digest(self, tmp_path, rng):
+        path = write_shard(tmp_path, 0, 4, {"a": rng.normal(size=4)})
+        with np.load(path) as data:
+            members = dict(data)
+        assert int(members["__format__"]) == SHARD_FORMAT
+        cols = {k: v for k, v in members.items()
+                if not k.startswith("__")}
+        assert str(members["__digest__"]) == shard_digest(cols)
+
+    def test_digest_ignores_container_bytes(self, rng):
+        # The digest pins column *data*, not zip member timestamps.
+        cols = {"die": np.arange(4), "a": rng.normal(size=4)}
+        assert shard_digest(cols) == shard_digest(
+            {k: v.copy() for k, v in cols.items()})
+
+    def test_tampered_shard_quarantined(self, tmp_path, rng):
+        path = write_shard(tmp_path, 0, 4, {"a": rng.normal(size=4)})
+        self._tamper(path)
+        with pytest.raises(ShardIntegrityError, match="digest"):
+            load_shard(path)
+        assert not path.exists()
+        qdir = tmp_path / "quarantine"
+        assert (qdir / path.name).exists()
+        reason = json.loads(
+            (qdir / f"{path.name}.reason.json").read_text())
+        assert reason["shard"] == path.name
+        assert "digest mismatch" in reason["reason"]
+        assert reason["quarantined_at_unix_s"] > 0
+        # The die range now reads as a coverage gap.
+        assert missing_ranges(tmp_path, 0, 4) == [(0, 4)]
+
+    def test_unreadable_shard_quarantined(self, tmp_path):
+        path = tmp_path / shard_name(0, 4)
+        path.write_bytes(b"not an npz container")
+        with pytest.raises(ShardIntegrityError, match="unreadable"):
+            load_shard(path)
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_verify_false_skips_digest(self, tmp_path, rng):
+        path = write_shard(tmp_path, 0, 4, {"a": rng.normal(size=4)})
+        self._tamper(path)
+        back = load_shard(path, verify=False)
+        assert path.exists()  # not quarantined
+        assert "__digest__" not in back and "__format__" not in back
+
+    def test_v1_shard_loads_transparently(self, tmp_path, rng):
+        # Pre-integrity shards have no meta members at all.
+        path = tmp_path / shard_name(8, 12)
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, die=np.arange(8, 12),
+                                a=rng.normal(size=4))
+        back = load_shard(path)
+        assert np.array_equal(back["die"], np.arange(8, 12))
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_reserved_member_names_refused(self, tmp_path):
+        for name in ("__digest__", "__format__"):
+            with pytest.raises(ValueError, match="reserved"):
+                write_shard(tmp_path, 0, 4, {name: np.zeros(4)})
+
+    def test_explicit_quarantine(self, tmp_path):
+        path = write_shard(tmp_path, 0, 4, {"a": np.zeros(4)})
+        target = quarantine_shard(path, "operator said so")
+        assert target.parent.name == "quarantine"
+        assert not path.exists()
+
+    def test_summarize_skips_quarantined_shard(self, tmp_path, rng):
+        for lo in (0, 4):
+            write_shard(tmp_path, lo, lo + 4,
+                        {"a": rng.normal(size=4)})
+        self._tamper(tmp_path / shard_name(4, 8))
+        acc = summarize_shards(tmp_path, {"a": (-10, 10)})
+        assert acc.moments["a"].count == 4  # good shard only
+        assert missing_ranges(tmp_path, 0, 8) == [(4, 8)]
 
 
 def _tiny_plan(name, n_dies=8, **kw):
